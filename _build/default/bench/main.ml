@@ -1,0 +1,90 @@
+(* The full benchmark harness.
+
+   Part 1 regenerates every table/figure-equivalent of the paper (the
+   experiment suite E1..E9 plus the inventory; see DESIGN.md for the
+   experiment index and EXPERIMENTS.md for paper-vs-measured).
+
+   Part 2 runs Bechamel micro-benchmarks: one Test.make per experiment
+   family, timing the core operation each table is built from (DRS
+   compilation, span analysis, Q*, the SB scheduler, the WS baseline, and
+   the real multicore executors). *)
+
+open Bechamel
+open Toolkit
+open Nd_algos
+
+let seed = 20160215
+
+let bechamel_tests () =
+  let mm = Matmul.workload ~n:32 ~base:4 ~seed () in
+  let trs = Trs.workload ~n:32 ~base:4 ~seed () in
+  let lcs = Lcs.workload ~n:128 ~base:8 ~seed () in
+  let p_mm = Workload.compile mm in
+  let p_trs = Workload.compile trs in
+  let p_lcs = Workload.compile lcs in
+  let machine =
+    Nd_pmh.Pmh.create ~root_fanout:1
+      [
+        { Nd_pmh.Pmh.size = 64; fanout = 1; miss_cost = 2 };
+        { Nd_pmh.Pmh.size = 512; fanout = 4; miss_cost = 8 };
+        { Nd_pmh.Pmh.size = 4096; fanout = 4; miss_cost = 32 };
+      ]
+  in
+  mm.Workload.reset ();
+  trs.Workload.reset ();
+  lcs.Workload.reset ();
+  Test.make_grouped ~name:"nd" ~fmt:"%s %s"
+    [
+      Test.make ~name:"e1.drs-compile(trs32)"
+        (Staged.stage (fun () -> ignore (Workload.compile trs)));
+      Test.make ~name:"e1.span(trs32)"
+        (Staged.stage (fun () -> ignore (Nd_dag.Dag.span (Nd.Program.dag p_trs))));
+      Test.make ~name:"e2.qstar(mm32,M=256)"
+        (Staged.stage (fun () -> ignore (Nd_mem.Pcc.q_star p_mm ~m:256)));
+      Test.make ~name:"e2.q1-lru(mm32,M=256)"
+        (Staged.stage (fun () -> ignore (Nd_mem.Cache_sim.q1 p_mm ~m:256)));
+      Test.make ~name:"e3.sb-sched(trs32)"
+        (Staged.stage (fun () -> ignore (Nd_sched.Sb_sched.run p_trs machine)));
+      Test.make ~name:"e5.ecc(trs32,a=0.8)"
+        (Staged.stage (fun () ->
+             ignore (Nd_mem.Ecc.q_hat p_trs ~m:256 ~alpha:0.8)));
+      Test.make ~name:"e6.work-steal(trs32)"
+        (Staged.stage (fun () ->
+             ignore (Nd_sched.Work_steal.run ~seed p_trs machine)));
+      Test.make ~name:"e8.race-check(mm16)"
+        (Staged.stage
+           (let small = Workload.compile (Matmul.workload ~n:16 ~base:2 ~seed ()) in
+            fun () -> ignore (Nd_dag.Race.race_free (Nd.Program.dag small))));
+      Test.make ~name:"e9.serial-exec(lcs128)"
+        (Staged.stage (fun () -> Nd.Serial_exec.run p_lcs));
+      Test.make ~name:"e9.dataflow-exec(lcs128)"
+        (Staged.stage (fun () -> Nd_runtime.Executor.run_dataflow ~workers:2 p_lcs));
+      Test.make ~name:"e9.forkjoin-exec(lcs128)"
+        (Staged.stage (fun () -> Nd_runtime.Executor.run_fork_join ~workers:2 p_lcs));
+    ]
+
+let run_bechamel () =
+  print_endline "== Bechamel micro-benchmarks (ns/run via OLS) ==";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-32s %12.0f ns/run\n" name est)
+    (List.sort compare !rows);
+  print_newline ()
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  Nd_experiments.Suite.run_all ();
+  run_bechamel ();
+  Printf.printf "total bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,212 @@
+(* ndsim — command-line driver for the Nested Dataflow library:
+   per-algorithm analysis, scheduler simulation, and the full experiment
+   suite. *)
+
+open Cmdliner
+module Pmh = Nd_pmh.Pmh
+open Nd_algos
+
+let algo_arg =
+  let doc =
+    Printf.sprintf "Algorithm: one of %s."
+      (String.concat ", " (Nd_experiments.Workloads.names ()))
+  in
+  Arg.(value & opt string "trs" & info [ "algo"; "a" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  Arg.(value & opt (some int) None & info [ "n"; "size" ] ~docv:"N" ~doc:"Problem size (power of two).")
+
+let base_arg =
+  Arg.(value & opt (some int) None & info [ "base"; "b" ] ~docv:"B" ~doc:"Base-case block size.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for the operands.")
+
+let np_arg =
+  Arg.(value & flag & info [ "np" ] ~doc:"Use the nested-parallel projection (fires serialized).")
+
+let build_workload algo n base seed =
+  let fam = Nd_experiments.Workloads.find algo in
+  Nd_experiments.Workloads.build ?n ?base fam ~seed
+
+let mode_of np = if np then Workload.NP else Workload.ND
+
+(* ------------------------------ span ------------------------------- *)
+
+let span_cmd =
+  let run algo n base seed =
+    let w = build_workload algo n base seed in
+    let pnd = Workload.compile w in
+    let pnp = Workload.compile ~mode:Workload.NP w in
+    Format.printf "%s n=%d base=%d@." w.Workload.name w.Workload.n w.Workload.base;
+    Format.printf "  ND: %a@." Nd.Analysis.pp_report (Nd.Analysis.analyze pnd);
+    Format.printf "  NP: %a@." Nd.Analysis.pp_report (Nd.Analysis.analyze pnp)
+  in
+  Cmd.v
+    (Cmd.info "span" ~doc:"Work-span analysis of an algorithm, ND vs NP.")
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg)
+
+(* ------------------------------ race ------------------------------- *)
+
+let race_cmd =
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Lift each race to its lowest common ancestor and print the missing-rule pedigrees.")
+  in
+  let variant_arg =
+    Arg.(value & flag
+         & info [ "literal" ]
+             ~doc:"Use the paper-literal rule variant where one exists (mm, trs, lcs, fw1d).")
+  in
+  let run algo n base seed np explain literal =
+    let w =
+      if literal then
+        let n = Option.value n ~default:16 and base = Option.value base ~default:2 in
+        match algo with
+        | "mm" -> Matmul.workload ~variant:Matmul.Literal ~n ~base ~seed ()
+        | "trs" -> Trs.workload ~variant:Trs.Literal ~n ~base ~seed ()
+        | "lcs" -> Lcs.workload ~variant:`Literal ~n ~base ~seed ()
+        | "fw1d" -> Fw1d.workload ~variant:`Literal ~n ~base ~seed ()
+        | other ->
+          Format.eprintf "no literal variant for %s@." other;
+          exit 2
+      else build_workload algo n base seed
+    in
+    let p = Workload.compile ~mode:(mode_of np) w in
+    let dag = Nd.Program.dag p in
+    if explain then
+      match Nd.Rule_check.diagnose ~limit:8 p with
+      | [] -> Format.printf "race-free: no rules missing@."
+      | findings ->
+        List.iter
+          (fun f -> Format.printf "@[<v>%a@]@." (Nd.Rule_check.pp_finding p) f)
+          findings;
+        exit 1
+    else
+      match Nd_dag.Race.find_races ~limit:16 dag with
+      | [] -> Format.printf "race-free (%d vertices, %d edges)@."
+                (Nd_dag.Dag.n_vertices dag) (Nd_dag.Dag.n_edges dag)
+      | races ->
+        Format.printf "%d race(s) found:@." (List.length races);
+        List.iter (fun r -> Format.printf "  %a@." (Nd_dag.Race.pp_race dag) r) races;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "race" ~doc:"Determinacy-race check of the algorithm DAG.")
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg
+          $ explain_arg $ variant_arg)
+
+(* ------------------------------- sb -------------------------------- *)
+
+let sb_cmd =
+  let top_arg =
+    Arg.(value & opt int 1 & info [ "top" ] ~docv:"K" ~doc:"Top-level cache count (procs = 16K).")
+  in
+  let fine_arg =
+    Arg.(value & flag & info [ "fine" ] ~doc:"Fine-grained cross-anchor readiness (E7 ablation).")
+  in
+  let run algo n base seed np top fine =
+    let w = build_workload algo n base seed in
+    let p = Workload.compile ~mode:(mode_of np) w in
+    let machine =
+      Pmh.create ~root_fanout:top
+        [
+          { Pmh.size = 64; fanout = 1; miss_cost = 2 };
+          { Pmh.size = 512; fanout = 4; miss_cost = 8 };
+          { Pmh.size = 4096; fanout = 4; miss_cost = 32 };
+        ]
+    in
+    let mode = if fine then Nd_sched.Sb_sched.Fine else Nd_sched.Sb_sched.Coarse in
+    Format.printf "machine: %s@." (Pmh.describe machine);
+    let s = Nd_sched.Sb_sched.run ~mode p machine in
+    Format.printf "SB(%s,%s): %a@."
+      (Workload.mode_name (mode_of np))
+      (if fine then "fine" else "coarse")
+      Nd_sched.Sb_sched.pp_stats s
+  in
+  Cmd.v
+    (Cmd.info "sb" ~doc:"Simulate the space-bounded scheduler on a PMH.")
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg $ top_arg $ fine_arg)
+
+(* ------------------------------ check ------------------------------ *)
+
+let check_cmd =
+  let run algo n base seed np =
+    let w = build_workload algo n base seed in
+    let p = Workload.compile ~mode:(mode_of np) w in
+    w.Workload.reset ();
+    Nd.Serial_exec.run ~rng:(Nd_util.Prng.create (seed + 1)) p;
+    let err = w.Workload.check () in
+    Format.printf "%s n=%d: randomized-order execution error = %g@."
+      w.Workload.name w.Workload.n err;
+    if err > 1e-6 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Execute in a randomized dependency order and compare with the serial reference.")
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg)
+
+(* ------------------------------- drs ------------------------------- *)
+
+let drs_cmd =
+  let run () =
+    (* the paper's Figure 3-4 worked example *)
+    let strand l =
+      Nd.Spawn_tree.leaf
+        (Nd.Strand.make ~label:l ~work:1 ~reads:Nd_util.Interval_set.empty
+           ~writes:Nd_util.Interval_set.empty ())
+    in
+    let f = Nd.Spawn_tree.seq [ strand "A"; strand "B" ] in
+    let g = Nd.Spawn_tree.seq [ strand "C"; strand "D" ] in
+    let main = Nd.Spawn_tree.fire ~rule:"FG" f g in
+    let reg =
+      Nd.Fire_rule.define Nd.Fire_rule.empty_registry "FG"
+        [ Nd.Fire_rule.rule [ 1 ] Nd.Fire_rule.Full [ 1 ] ]
+    in
+    let p = Nd.Program.compile ~registry:reg main in
+    let dag = Nd.Program.dag p in
+    Format.printf "MAIN = F ~FG~> G with F = A;B, G = C;D and +<1> ; -<1> (paper Fig. 3-4)@.";
+    Format.printf "spawn tree: %a@." Nd.Spawn_tree.pp main;
+    Format.printf "algorithm DAG edges:@.";
+    for v = 0 to Nd_dag.Dag.n_vertices dag - 1 do
+      List.iter
+        (fun s ->
+          Format.printf "  %s -> %s@." (Nd_dag.Dag.label dag v)
+            (Nd_dag.Dag.label dag s))
+        (Nd_dag.Dag.succs dag v)
+    done;
+    Format.printf "span = %d (A before C; B parallel to C,D)@."
+      (Nd_dag.Dag.span dag)
+  in
+  Cmd.v
+    (Cmd.info "drs" ~doc:"Show the DRS on the paper's MAIN/F/G example (Figures 3-4).")
+    Term.(const run $ const ())
+
+(* --------------------------- experiments ---------------------------- *)
+
+let experiments_cmd =
+  let which =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e9); all when omitted.")
+  in
+  let run which =
+    match which with
+    | None -> Nd_experiments.Suite.run_all ()
+    | Some name -> (
+      try Nd_experiments.Suite.run name
+      with Not_found ->
+        Format.eprintf "unknown experiment %s@." name;
+        exit 2)
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiment suite.")
+    Term.(const run $ which)
+
+let () =
+  let doc = "Nested Dataflow model: analysis, simulation and experiments" in
+  let info = Cmd.info "ndsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ span_cmd; race_cmd; sb_cmd; check_cmd; drs_cmd; experiments_cmd ]))

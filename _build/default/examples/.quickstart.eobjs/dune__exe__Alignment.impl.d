@@ -1,0 +1,1 @@
+examples/alignment.ml: Format Gotoh Lcs Nd Nd_algos Nd_runtime Unix Workload

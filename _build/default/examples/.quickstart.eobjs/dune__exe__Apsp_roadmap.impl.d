@@ -1,0 +1,1 @@
+examples/apsp_roadmap.ml: Array Format Fw2d Nd Nd_algos Nd_mem Nd_pmh Nd_runtime Nd_sched Workload

@@ -1,0 +1,1 @@
+examples/linear_algebra.ml: Analysis Cholesky Float Format Kernels Mat Nd Nd_algos Nd_runtime Nd_util Program Rules Spawn_tree Strand Trs Unix

@@ -1,0 +1,1 @@
+examples/linear_algebra.mli:

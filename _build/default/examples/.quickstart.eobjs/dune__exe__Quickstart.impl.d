@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Fire_rule Format Nd Nd_algos Nd_dag Nd_runtime Nd_util Program Serial_exec Spawn_tree Strand

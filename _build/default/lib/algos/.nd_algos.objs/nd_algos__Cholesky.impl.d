@@ -1,0 +1,1 @@
+lib/algos/cholesky.ml: Kernels Mat Matmul Nd Nd_util Rules Spawn_tree Strand Trs Workload

@@ -1,0 +1,1 @@
+lib/algos/cholesky.mli: Mat Nd Workload

@@ -1,0 +1,1 @@
+lib/algos/fw1d.ml: Float List Mat Nd Nd_util Rules Spawn_tree Strand Workload

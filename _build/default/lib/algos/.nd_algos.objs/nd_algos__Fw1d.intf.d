@@ -1,0 +1,1 @@
+lib/algos/fw1d.mli: Workload

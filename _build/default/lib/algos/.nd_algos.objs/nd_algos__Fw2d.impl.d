@@ -1,0 +1,1 @@
+lib/algos/fw2d.ml: Kernels Mat Nd Nd_util Rules Spawn_tree Strand Workload

@@ -1,0 +1,1 @@
+lib/algos/fw2d.mli: Mat Nd Workload

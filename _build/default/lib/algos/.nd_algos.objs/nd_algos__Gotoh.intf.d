@@ -1,0 +1,1 @@
+lib/algos/gotoh.mli: Workload

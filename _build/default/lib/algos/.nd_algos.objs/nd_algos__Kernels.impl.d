@@ -1,0 +1,1 @@
+lib/algos/kernels.ml: Float Mat Nd_util

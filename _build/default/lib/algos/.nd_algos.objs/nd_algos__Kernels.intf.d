@@ -1,0 +1,1 @@
+lib/algos/kernels.mli: Mat Nd_util

@@ -1,0 +1,1 @@
+lib/algos/lcs.ml: Float List Mat Nd Nd_util Rules Spawn_tree Strand Workload

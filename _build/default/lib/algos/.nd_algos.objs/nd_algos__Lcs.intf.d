@@ -1,0 +1,1 @@
+lib/algos/lcs.mli: Workload

@@ -1,0 +1,1 @@
+lib/algos/lu.ml: Float Kernels List Mat Matmul Nd Nd_util Rules Spawn_tree Strand Trs Workload

@@ -1,0 +1,1 @@
+lib/algos/lu.mli: Mat Nd Workload

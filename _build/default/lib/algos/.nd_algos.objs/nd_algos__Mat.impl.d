@@ -1,0 +1,1 @@
+lib/algos/mat.ml: Array Float Format List Nd_util

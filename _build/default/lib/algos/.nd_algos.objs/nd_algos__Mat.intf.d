@@ -1,0 +1,1 @@
+lib/algos/mat.mli: Format Nd_util

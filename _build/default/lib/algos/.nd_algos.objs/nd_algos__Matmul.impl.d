@@ -1,0 +1,1 @@
+lib/algos/matmul.ml: Kernels List Mat Nd Nd_util Rules Spawn_tree Strand Workload

@@ -1,0 +1,1 @@
+lib/algos/matmul.mli: Mat Nd Workload

@@ -1,0 +1,1 @@
+lib/algos/rules.ml: List Nd

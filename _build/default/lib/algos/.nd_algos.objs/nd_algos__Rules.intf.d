@@ -1,0 +1,1 @@
+lib/algos/rules.mli: Nd

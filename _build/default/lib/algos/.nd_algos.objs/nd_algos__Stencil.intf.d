@@ -1,0 +1,1 @@
+lib/algos/stencil.mli: Workload

@@ -1,0 +1,1 @@
+lib/algos/trs.ml: Kernels Mat Matmul Nd Nd_util Rules Spawn_tree Strand Workload

@@ -1,0 +1,1 @@
+lib/algos/trs.mli: Mat Nd Workload

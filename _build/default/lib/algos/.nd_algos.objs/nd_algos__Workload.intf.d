@@ -1,0 +1,1 @@
+lib/algos/workload.mli: Nd

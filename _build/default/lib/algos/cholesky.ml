@@ -1,0 +1,47 @@
+open Nd
+
+let cho_leaf a =
+  (* ~ n^3/3 multiply-adds; keep n^3 as the unit-consistent count *)
+  let work = a.Mat.rows * a.Mat.rows * a.Mat.rows in
+  Spawn_tree.leaf
+    (Strand.make ~label:"cho" ~work ~reads:(Mat.region a)
+       ~writes:(Mat.region a)
+       ~action:(fun () -> Kernels.cholesky a)
+       ())
+
+let cho_tree ~base a =
+  if a.Mat.rows <> a.Mat.cols then invalid_arg "Cholesky.cho_tree: not square";
+  Workload.validate_shape ~n:a.Mat.rows ~base;
+  let rec go a =
+    if a.Mat.rows <= base then cho_leaf a
+    else
+      let a00 = Mat.quad a 0 0 and a10 = Mat.quad a 1 0 and a11 = Mat.quad a 1 1 in
+      (* L10 <- A10 * L00^-T; then A11 -= L10 * L10^T; then factorize A11 *)
+      let panel = Trs.trsr_tree ~base a00 a10 in
+      let syrk = Matmul.mm_nt_tree ~variant:Matmul.Safe ~sign:(-1.) ~base a11 a10 a10 in
+      Spawn_tree.fire ~rule:"CTMC"
+        (Spawn_tree.fire ~rule:"CT" (go a00) panel)
+        (Spawn_tree.fire ~rule:"MC" syrk (go a11))
+  in
+  go a
+
+let workload ~n ~base ~seed () =
+  Workload.validate_shape ~n ~base;
+  let space = Mat.create_space () in
+  let a = Mat.alloc space ~rows:n ~cols:n in
+  let reference = Mat.alloc (Mat.create_space ()) ~rows:n ~cols:n in
+  let reset () =
+    let rng = Nd_util.Prng.create seed in
+    Kernels.fill_spd a rng;
+    Mat.copy_contents ~src:a ~dst:reference;
+    Kernels.cholesky reference
+  in
+  {
+    Workload.name = "cholesky";
+    n;
+    base;
+    tree = cho_tree ~base a;
+    registry = Rules.registry;
+    reset;
+    check = (fun () -> Mat.max_abs_diff_lower a reference);
+  }

@@ -1,0 +1,19 @@
+(** Cholesky factorization in the ND model (Section 3, Eq. 11).
+
+    [CHO(A)] overwrites the lower triangle of the SPD matrix [A] with [L]
+    such that [A = L L^T] (the strict upper triangle is left untouched).
+    The recursion is
+
+    [(CHO(A00) ⇝CT  L10 ← TRSR(L00, A10))
+       ⇝CTMC (SYRK(L10, A11) ⇝MC CHO(A11))]
+
+    where TRSR is the right solve [L10 = A10 L00^-T] and SYRK the
+    symmetric update [A11 -= L10 L10^T] built on the transposed matmul
+    tree (fire type "MM"/"TM2"). *)
+
+(** [cho_tree ~base a] — spawn tree factorizing [a] in place. *)
+val cho_tree : base:int -> Mat.t -> Nd.Spawn_tree.t
+
+(** [workload ~n ~base ~seed ()] — factorize a random SPD matrix; [check]
+    compares the lower triangle against the serial kernel. *)
+val workload : n:int -> base:int -> seed:int -> unit -> Workload.t

@@ -1,0 +1,17 @@
+(** 1-dimensional Floyd–Warshall (Section 3, Eq. 13–14 and Figure 10) —
+    the synthetic dynamic-programming benchmark of Tang et al. whose
+    dependency pattern mirrors APSP: cell (t, i) depends on the cell above
+    it and on the previous timestep's diagonal cell (t-1, t-1).
+
+    The divide-and-conquer uses two task types: [A] on blocks containing
+    their own diagonal cells, [B] on blocks whose diagonals live in a
+    sibling block ([Y]), composed with the "⇝AB"/"⇝ABAB"/"⇝BA"/"⇝BBBB"/
+    "⇝BB" fire rules of Eq. 14. *)
+
+(** [workload ~n ~base ~seed ()] — an n x n table (row 0 given); the
+    concrete update is the min-plus relaxation
+    [d(t,i) = min(d(t-1,i), d(t-1,t-1) + w(t,i))] with deterministic
+    pseudo-random weights (exact check: min is order-insensitive). *)
+val workload :
+  ?variant:[ `Corrected | `Literal ] -> n:int -> base:int -> seed:int ->
+  unit -> Workload.t

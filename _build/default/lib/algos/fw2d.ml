@@ -1,0 +1,143 @@
+module Is = Nd_util.Interval_set
+open Nd
+
+let leaf label ~work ~reads ~writes action =
+  Spawn_tree.leaf (Strand.make ~label ~work ~reads ~writes ~action ())
+
+let fwa_leaf x =
+  let n = x.Mat.rows in
+  leaf "fwa" ~work:(n * n * n) ~reads:(Mat.region x) ~writes:(Mat.region x)
+    (fun () -> Kernels.floyd_warshall x)
+
+let fwb_leaf x u =
+  leaf "fwb"
+    ~work:(x.Mat.rows * x.Mat.cols * u.Mat.rows)
+    ~reads:(Is.union (Mat.region x) (Mat.region u))
+    ~writes:(Mat.region x)
+    (fun () -> Kernels.fwb_block x u)
+
+let fwc_leaf x u =
+  leaf "fwc"
+    ~work:(x.Mat.rows * x.Mat.cols * u.Mat.rows)
+    ~reads:(Is.union (Mat.region x) (Mat.region u))
+    ~writes:(Mat.region x)
+    (fun () -> Kernels.fwc_block x u)
+
+let fwd_leaf x u v =
+  leaf "fwd"
+    ~work:(x.Mat.rows * x.Mat.cols * u.Mat.cols)
+    ~reads:
+      (Is.union (Mat.region x) (Is.union (Mat.region u) (Mat.region v)))
+    ~writes:(Mat.region x)
+    (fun () -> Kernels.min_plus_acc x u v)
+
+(* D(X | U, V): X <- min(X, U (x) V).  Same shape as the 2-way matmul:
+   inner halves composed with the (safe) "MM" fire. *)
+let rec d_tree ~base x u v =
+  if x.Mat.rows <= base then fwd_leaf x u v
+  else
+    let xq i j = Mat.quad x i j and uq i j = Mat.quad u i j and vq i j = Mat.quad v i j in
+    let half k =
+      Spawn_tree.par
+        [
+          Spawn_tree.par
+            [ d_tree ~base (xq 0 0) (uq 0 k) (vq k 0); d_tree ~base (xq 0 1) (uq 0 k) (vq k 1) ];
+          Spawn_tree.par
+            [ d_tree ~base (xq 1 0) (uq 1 k) (vq k 0); d_tree ~base (xq 1 1) (uq 1 k) (vq k 1) ];
+        ]
+    in
+    Spawn_tree.fire ~rule:"MM" (half 0) (half 1)
+
+(* B(X | U): column panel, U the (final) diagonal block sharing X's rows.
+   Left-TRS shape plus the back-update through the second-half k's. *)
+let rec b_tree ~base x u =
+  if x.Mat.rows <= base then fwb_leaf x u
+  else
+    let x00 = Mat.quad x 0 0
+    and x01 = Mat.quad x 0 1
+    and x10 = Mat.quad x 1 0
+    and x11 = Mat.quad x 1 1 in
+    let u00 = Mat.quad u 0 0
+    and u01 = Mat.quad u 0 1
+    and u10 = Mat.quad u 1 0
+    and u11 = Mat.quad u 1 1 in
+    let forward =
+      Spawn_tree.fire ~rule:"FWB2T"
+        (Spawn_tree.par
+           [
+             Spawn_tree.fire ~rule:"BD2" (b_tree ~base x00 u00) (d_tree ~base x10 u10 x00);
+             Spawn_tree.fire ~rule:"BD2" (b_tree ~base x01 u00) (d_tree ~base x11 u10 x01);
+           ])
+        (Spawn_tree.par [ b_tree ~base x10 u11; b_tree ~base x11 u11 ])
+    in
+    Spawn_tree.fire ~rule:"FWB_BACK" forward
+      (Spawn_tree.par [ d_tree ~base x00 u01 x10; d_tree ~base x01 u01 x11 ])
+
+(* C(X | U): row panel; right-TRS shape plus the back-update. *)
+let rec c_tree ~base x u =
+  if x.Mat.rows <= base then fwc_leaf x u
+  else
+    let x00 = Mat.quad x 0 0
+    and x01 = Mat.quad x 0 1
+    and x10 = Mat.quad x 1 0
+    and x11 = Mat.quad x 1 1 in
+    let u00 = Mat.quad u 0 0
+    and u01 = Mat.quad u 0 1
+    and u10 = Mat.quad u 1 0
+    and u11 = Mat.quad u 1 1 in
+    let forward =
+      Spawn_tree.fire ~rule:"FWC2T"
+        (Spawn_tree.par
+           [
+             Spawn_tree.fire ~rule:"CD1" (c_tree ~base x00 u00) (d_tree ~base x01 x00 u01);
+             Spawn_tree.fire ~rule:"CD1" (c_tree ~base x10 u00) (d_tree ~base x11 x10 u01);
+           ])
+        (Spawn_tree.par [ c_tree ~base x01 u11; c_tree ~base x11 u11 ])
+    in
+    Spawn_tree.fire ~rule:"FWC_BACK" forward
+      (Spawn_tree.par [ d_tree ~base x00 x01 u10; d_tree ~base x10 x11 u10 ])
+
+(* A(X): the six-stage Gaussian-elimination-paradigm diagonal recursion;
+   the stage composition is serial (see the interface note). *)
+let rec a_tree ~base x =
+  if x.Mat.rows <= base then fwa_leaf x
+  else
+    let x00 = Mat.quad x 0 0
+    and x01 = Mat.quad x 0 1
+    and x10 = Mat.quad x 1 0
+    and x11 = Mat.quad x 1 1 in
+    Spawn_tree.seq
+      [
+        a_tree ~base x00;
+        Spawn_tree.par [ b_tree ~base x01 x00; c_tree ~base x10 x00 ];
+        d_tree ~base x11 x10 x01;
+        a_tree ~base x11;
+        Spawn_tree.par [ b_tree ~base x10 x11; c_tree ~base x01 x11 ];
+        d_tree ~base x00 x01 x10;
+      ]
+
+let apsp_tree ~base x =
+  if x.Mat.rows <> x.Mat.cols then invalid_arg "Fw2d.apsp_tree: not square";
+  Workload.validate_shape ~n:x.Mat.rows ~base;
+  a_tree ~base x
+
+let workload ~n ~base ~seed () =
+  Workload.validate_shape ~n ~base;
+  let space = Mat.create_space () in
+  let x = Mat.alloc space ~rows:n ~cols:n in
+  let reference = Mat.alloc (Mat.create_space ()) ~rows:n ~cols:n in
+  let reset () =
+    let rng = Nd_util.Prng.create seed in
+    Kernels.fill_distances x rng;
+    Mat.copy_contents ~src:x ~dst:reference;
+    Kernels.floyd_warshall reference
+  in
+  {
+    Workload.name = "apsp";
+    n;
+    base;
+    tree = apsp_tree ~base x;
+    registry = Rules.registry;
+    reset;
+    check = (fun () -> Mat.max_abs_diff x reference);
+  }

@@ -1,0 +1,16 @@
+(** Pairwise sequence alignment with affine gap cost (Gotoh, 1982) in the
+    ND model — the paper's footnote 3: "a similar recurrence applies to
+    the pairwise sequence alignment with affine gap cost".
+
+    Three DP planes (match [M], horizontal gap [E], vertical gap [F])
+    share the LCS dependency pattern — cell (i,j) needs (i-1,j-1),
+    (i,j-1) and (i-1,j) — so the spawn tree is the LCS quadrant
+    composition and the fire-rule types "HV"/"VH"/"H"/"V" apply verbatim,
+    demonstrating the reusability of the rule system across algorithms
+    with the same partial-dependence pattern. *)
+
+(** [workload ~n ~base ~seed ()] — global alignment of two random
+    4-letter sequences of length [n] with match +1, mismatch -1, gap
+    open 2.5, gap extend 0.5; [check] compares all three DP planes with
+    the serial reference (exact: each cell is written once). *)
+val workload : n:int -> base:int -> seed:int -> unit -> Workload.t

@@ -1,0 +1,232 @@
+module Prng = Nd_util.Prng
+
+let mm_acc ~sign c a b =
+  if a.Mat.cols <> b.Mat.rows || c.Mat.rows <> a.Mat.rows || c.Mat.cols <> b.Mat.cols
+  then invalid_arg "Kernels.mm_acc: shape mismatch";
+  for i = 0 to c.Mat.rows - 1 do
+    for k = 0 to a.Mat.cols - 1 do
+      let aik = sign *. Mat.get a i k in
+      for j = 0 to c.Mat.cols - 1 do
+        Mat.set c i j (Mat.get c i j +. (aik *. Mat.get b k j))
+      done
+    done
+  done
+
+let mm_acc_nt ~sign c a b =
+  if a.Mat.cols <> b.Mat.cols || c.Mat.rows <> a.Mat.rows || c.Mat.cols <> b.Mat.rows
+  then invalid_arg "Kernels.mm_acc_nt: shape mismatch";
+  for i = 0 to c.Mat.rows - 1 do
+    for j = 0 to c.Mat.cols - 1 do
+      let acc = ref 0. in
+      for k = 0 to a.Mat.cols - 1 do
+        acc := !acc +. (Mat.get a i k *. Mat.get b j k)
+      done;
+      Mat.set c i j (Mat.get c i j +. (sign *. !acc))
+    done
+  done
+
+let trs_left t b =
+  if t.Mat.rows <> t.Mat.cols || t.Mat.rows <> b.Mat.rows then
+    invalid_arg "Kernels.trs_left: shape mismatch";
+  let n = t.Mat.rows in
+  for j = 0 to b.Mat.cols - 1 do
+    for i = 0 to n - 1 do
+      let acc = ref (Mat.get b i j) in
+      for k = 0 to i - 1 do
+        acc := !acc -. (Mat.get t i k *. Mat.get b k j)
+      done;
+      Mat.set b i j (!acc /. Mat.get t i i)
+    done
+  done
+
+let trs_right t b =
+  if t.Mat.rows <> t.Mat.cols || b.Mat.cols <> t.Mat.rows then
+    invalid_arg "Kernels.trs_right: shape mismatch";
+  let n = t.Mat.rows in
+  for i = 0 to b.Mat.rows - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref (Mat.get b i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.get b i k *. Mat.get t j k)
+      done;
+      Mat.set b i j (!acc /. Mat.get t j j)
+    done
+  done
+
+let cholesky a =
+  if a.Mat.rows <> a.Mat.cols then invalid_arg "Kernels.cholesky: not square";
+  let n = a.Mat.rows in
+  for j = 0 to n - 1 do
+    let d = ref (Mat.get a j j) in
+    for k = 0 to j - 1 do
+      d := !d -. (Mat.get a j k *. Mat.get a j k)
+    done;
+    if !d <= 0. then failwith "Kernels.cholesky: non-positive pivot";
+    let ljj = sqrt !d in
+    Mat.set a j j ljj;
+    for i = j + 1 to n - 1 do
+      let acc = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.get a i k *. Mat.get a j k)
+      done;
+      Mat.set a i j (!acc /. ljj)
+    done
+  done
+
+let min_plus_acc c a b =
+  if a.Mat.cols <> b.Mat.rows || c.Mat.rows <> a.Mat.rows || c.Mat.cols <> b.Mat.cols
+  then invalid_arg "Kernels.min_plus_acc: shape mismatch";
+  for i = 0 to c.Mat.rows - 1 do
+    for k = 0 to a.Mat.cols - 1 do
+      let aik = Mat.get a i k in
+      for j = 0 to c.Mat.cols - 1 do
+        let v = aik +. Mat.get b k j in
+        if v < Mat.get c i j then Mat.set c i j v
+      done
+    done
+  done
+
+let floyd_warshall a =
+  if a.Mat.rows <> a.Mat.cols then
+    invalid_arg "Kernels.floyd_warshall: not square";
+  let n = a.Mat.rows in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let aik = Mat.get a i k in
+      for j = 0 to n - 1 do
+        let v = aik +. Mat.get a k j in
+        if v < Mat.get a i j then Mat.set a i j v
+      done
+    done
+  done
+
+let fill_uniform m rng ~lo ~hi =
+  Mat.fill m (fun _ _ -> lo +. (Prng.float rng *. (hi -. lo)))
+
+let fill_lower_triangular m rng =
+  Mat.fill m (fun i j ->
+      if i = j then 2. +. Prng.float rng
+      else if i > j then 1. +. Prng.float rng
+      else 0.)
+
+let fill_spd m rng =
+  let n = m.Mat.rows in
+  Mat.fill m (fun _ _ -> Prng.float rng);
+  (* symmetrize and add a dominant diagonal *)
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      let v = (Mat.get m i j +. Mat.get m j i) /. 2. in
+      Mat.set m i j v;
+      Mat.set m j i v
+    done
+  done;
+  for i = 0 to n - 1 do
+    Mat.set m i i (Mat.get m i i +. float_of_int n)
+  done
+
+let fill_distances m rng =
+  Mat.fill m (fun i j -> if i = j then 0. else 1. +. (9. *. Prng.float rng))
+
+let trs_left_unit t b =
+  if t.Mat.rows <> t.Mat.cols || t.Mat.rows <> b.Mat.rows then
+    invalid_arg "Kernels.trs_left_unit: shape mismatch";
+  let n = t.Mat.rows in
+  for j = 0 to b.Mat.cols - 1 do
+    for i = 0 to n - 1 do
+      let acc = ref (Mat.get b i j) in
+      for k = 0 to i - 1 do
+        acc := !acc -. (Mat.get t i k *. Mat.get b k j)
+      done;
+      Mat.set b i j !acc
+    done
+  done
+
+let swap_rows m i j =
+  if i <> j then
+    for c = 0 to m.Mat.cols - 1 do
+      let tmp = Mat.get m i c in
+      Mat.set m i c (Mat.get m j c);
+      Mat.set m j c tmp
+    done
+
+let lu_panel a ~piv ~c0 ~r0 =
+  let rows = a.Mat.rows and m = a.Mat.cols in
+  for j = 0 to m - 1 do
+    (* pivot search over rows >= j of the panel view *)
+    let best = ref j and best_v = ref (Float.abs (Mat.get a j j)) in
+    for i = j + 1 to rows - 1 do
+      let v = Float.abs (Mat.get a i j) in
+      if v > !best_v then begin
+        best := i;
+        best_v := v
+      end
+    done;
+    Mat.set piv 0 (c0 + j) (float_of_int (r0 + !best));
+    swap_rows a j !best;
+    let d = Mat.get a j j in
+    for i = j + 1 to rows - 1 do
+      let lij = Mat.get a i j /. d in
+      Mat.set a i j lij;
+      for k = j + 1 to m - 1 do
+        Mat.set a i k (Mat.get a i k -. (lij *. Mat.get a j k))
+      done
+    done
+  done
+
+let laswp b ~piv ~k0 ~k1 ~g ~reverse =
+  let apply j =
+    let p = int_of_float (Mat.get piv 0 j) in
+    swap_rows b (j - g) (p - g)
+  in
+  if reverse then
+    for j = k1 - 1 downto k0 do
+      apply j
+    done
+  else
+    for j = k0 to k1 - 1 do
+      apply j
+    done
+
+let lu_inplace a ~piv =
+  if a.Mat.rows <> a.Mat.cols then invalid_arg "Kernels.lu_inplace: not square";
+  lu_panel a ~piv ~c0:0 ~r0:0
+
+let fwb_block x u =
+  if u.Mat.rows <> u.Mat.cols || u.Mat.rows <> x.Mat.rows then
+    invalid_arg "Kernels.fwb_block: shape mismatch";
+  for k = 0 to u.Mat.rows - 1 do
+    for i = 0 to x.Mat.rows - 1 do
+      let uik = Mat.get u i k in
+      for j = 0 to x.Mat.cols - 1 do
+        let v = uik +. Mat.get x k j in
+        if v < Mat.get x i j then Mat.set x i j v
+      done
+    done
+  done
+
+let fwc_block x u =
+  if u.Mat.rows <> u.Mat.cols || u.Mat.rows <> x.Mat.cols then
+    invalid_arg "Kernels.fwc_block: shape mismatch";
+  for k = 0 to u.Mat.rows - 1 do
+    for i = 0 to x.Mat.rows - 1 do
+      let xik = Mat.get x i k in
+      for j = 0 to x.Mat.cols - 1 do
+        let v = xik +. Mat.get u k j in
+        if v < Mat.get x i j then Mat.set x i j v
+      done
+    done
+  done
+
+let trs_left_trans t b =
+  if t.Mat.rows <> t.Mat.cols || t.Mat.rows <> b.Mat.rows then
+    invalid_arg "Kernels.trs_left_trans: shape mismatch";
+  let n = t.Mat.rows in
+  for j = 0 to b.Mat.cols - 1 do
+    for i = n - 1 downto 0 do
+      let acc = ref (Mat.get b i j) in
+      for k = i + 1 to n - 1 do
+        acc := !acc -. (Mat.get t k i *. Mat.get b k j)
+      done;
+      Mat.set b i j (!acc /. Mat.get t i i)
+    done
+  done

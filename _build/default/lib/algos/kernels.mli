@@ -1,0 +1,90 @@
+(** Serial dense kernels on {!Mat.t} views.
+
+    These are both the base-case strand bodies of the divide-and-conquer
+    spawn trees and the reference implementations the tests validate
+    against. *)
+
+(** [mm_acc ~sign c a b] does [c += sign * a*b]; [sign] is [1.] or [-1.].
+    @raise Invalid_argument on shape mismatch. *)
+val mm_acc : sign:float -> Mat.t -> Mat.t -> Mat.t -> unit
+
+(** [mm_acc_nt ~sign c a b] does [c += sign * a * b^T]. *)
+val mm_acc_nt : sign:float -> Mat.t -> Mat.t -> Mat.t -> unit
+
+(** [trs_left t b] solves [t * x = b] in place in [b] ([t] lower
+    triangular with nonzero diagonal). *)
+val trs_left : Mat.t -> Mat.t -> unit
+
+(** [trs_right t b] solves [x * t^T = b] in place in [b] ([t] lower
+    triangular); this is the transposed solve used by Cholesky's
+    off-diagonal panel. *)
+val trs_right : Mat.t -> Mat.t -> unit
+
+(** [cholesky a] factorizes the symmetric positive-definite [a] in place:
+    on return the lower triangle holds L with [a = l * l^T].  The strict
+    upper triangle is not touched.
+    @raise Failure on a non-positive pivot. *)
+val cholesky : Mat.t -> unit
+
+(** [min_plus_acc c a b] does [c(i,j) = min(c(i,j), min_k a(i,k)+b(k,j))] —
+    the tropical-semiring product step of Floyd–Warshall. *)
+val min_plus_acc : Mat.t -> Mat.t -> Mat.t -> unit
+
+(** [floyd_warshall a] runs the classic O(n^3) APSP relaxation in place on
+    the distance matrix [a] (reference implementation). *)
+val floyd_warshall : Mat.t -> unit
+
+(** {2 Deterministic test-data generators} *)
+
+(** [fill_uniform m rng ~lo ~hi] fills with uniform values in [\[lo, hi)]. *)
+val fill_uniform : Mat.t -> Nd_util.Prng.t -> lo:float -> hi:float -> unit
+
+(** [fill_lower_triangular m rng] fills the lower triangle with values in
+    \[1, 2) and the diagonal with values in \[2, 3) (well-conditioned for
+    substitution); zeroes above. *)
+val fill_lower_triangular : Mat.t -> Nd_util.Prng.t -> unit
+
+(** [fill_spd m rng] fills [m] with a symmetric positive-definite matrix
+    (random symmetric plus dominant diagonal). *)
+val fill_spd : Mat.t -> Nd_util.Prng.t -> unit
+
+(** [fill_distances m rng] fills a distance matrix: zero diagonal, random
+    positive edge weights elsewhere. *)
+val fill_distances : Mat.t -> Nd_util.Prng.t -> unit
+
+(** [trs_left_unit t b] solves [t * x = b] in place in [b] where [t] is
+    UNIT lower triangular (the strict lower part of a packed LU factor;
+    the stored diagonal is ignored and treated as 1). *)
+val trs_left_unit : Mat.t -> Mat.t -> unit
+
+(** [lu_panel a ~piv ~c0 ~r0] factorizes the tall panel [a] (a view whose
+    top row is global row [r0], holding global columns [c0..c0+m)) in
+    place with partial pivoting, recording for each panel column [j] the
+    GLOBAL pivot row index in [piv(0, c0 + j)].  Swaps apply to the panel
+    columns only. *)
+val lu_panel : Mat.t -> piv:Mat.t -> c0:int -> r0:int -> unit
+
+(** [laswp b ~piv ~k0 ~k1 ~g ~reverse] applies (or with [reverse] undoes)
+    the row interchanges [piv(0, k0..k1)] to the block [b], whose top row
+    is global row [g]: global row [j] swaps with global row [piv(0, j)]. *)
+val laswp :
+  Mat.t -> piv:Mat.t -> k0:int -> k1:int -> g:int -> reverse:bool -> unit
+
+(** [lu_inplace a ~piv] reference LU with partial pivoting on the square
+    matrix [a] (right-looking), recording global pivot rows in
+    [piv(0, j)]. *)
+val lu_inplace : Mat.t -> piv:Mat.t -> unit
+
+(** [fwb_block x u] — Floyd–Warshall column-panel kernel: for each k in
+    order, [x(i,j) <- min(x(i,j), u(i,k) + x(k,j))] (the diagonal block
+    [u] shares [x]'s row range). *)
+val fwb_block : Mat.t -> Mat.t -> unit
+
+(** [fwc_block x u] — row-panel kernel: for each k in order,
+    [x(i,j) <- min(x(i,j), x(i,k) + u(k,j))]. *)
+val fwc_block : Mat.t -> Mat.t -> unit
+
+(** [trs_left_trans t b] solves [t^T * x = b] in place in [b] ([t] lower
+    triangular, so this is the backward substitution of a Cholesky
+    solve). *)
+val trs_left_trans : Mat.t -> Mat.t -> unit

@@ -1,0 +1,99 @@
+module Is = Nd_util.Interval_set
+open Nd
+
+(* The DP table is an (n+1) x (n+1) matrix with row 0 and column 0 fixed
+   at zero; the recursion runs over the inner n x n region.  The two
+   sequences are 1 x n matrices in the same space so that strand
+   footprints cover them. *)
+
+let row_region x i j0 j1 =
+  if j1 <= j0 then Is.empty
+  else Is.interval (Mat.addr x i j0) (Mat.addr x i j0 + (j1 - j0))
+
+let col_region x i0 i1 j =
+  if i1 <= i0 then Is.empty
+  else Is.of_intervals (List.init (i1 - i0) (fun k ->
+      let a = Mat.addr x (i0 + k) j in
+      (a, a + 1)))
+
+let block_region x i0 i1 j0 j1 =
+  Is.of_intervals
+    (List.init (i1 - i0) (fun k ->
+         let a = Mat.addr x (i0 + k) j0 in
+         (a, a + (j1 - j0))))
+
+let lcs_leaf x s t i0 i1 j0 j1 =
+  let reads =
+    List.fold_left Is.union Is.empty
+      [
+        block_region x i0 i1 j0 j1;
+        row_region x (i0 - 1) (j0 - 1) j1;
+        col_region x (i0 - 1) i1 (j0 - 1);
+        row_region s 0 (i0 - 1) (i1 - 1);
+        row_region t 0 (j0 - 1) (j1 - 1);
+      ]
+  in
+  let writes = block_region x i0 i1 j0 j1 in
+  let action () =
+    for i = i0 to i1 - 1 do
+      for j = j0 to j1 - 1 do
+        let v =
+          if Mat.get s 0 (i - 1) = Mat.get t 0 (j - 1) then
+            Mat.get x (i - 1) (j - 1) +. 1.
+          else Float.max (Mat.get x i (j - 1)) (Mat.get x (i - 1) j)
+        in
+        Mat.set x i j v
+      done
+    done
+  in
+  Spawn_tree.leaf
+    (Strand.make ~label:"lcs" ~work:((i1 - i0) * (j1 - j0)) ~reads ~writes
+       ~action ())
+
+let lcs_tree ?(vh_rule = "VH") ~base x s t =
+  let rec go i0 j0 m =
+    if m <= base then lcs_leaf x s t i0 (i0 + m) j0 (j0 + m)
+    else
+      let h = m / 2 in
+      Spawn_tree.fire ~rule:vh_rule
+        (Spawn_tree.fire ~rule:"HV" (go i0 j0 h)
+           (Spawn_tree.par [ go i0 (j0 + h) h; go (i0 + h) j0 h ]))
+        (go (i0 + h) (j0 + h) h)
+  in
+  go 1 1 (x.Mat.rows - 1)
+
+let workload ?(variant = `Corrected) ~n ~base ~seed () =
+  let vh_rule = match variant with `Corrected -> "VH" | `Literal -> "VH_literal" in
+  Workload.validate_shape ~n ~base;
+  let space = Mat.create_space () in
+  let x = Mat.alloc space ~rows:(n + 1) ~cols:(n + 1) in
+  let s = Mat.alloc space ~rows:1 ~cols:n in
+  let t = Mat.alloc space ~rows:1 ~cols:n in
+  let reference = Mat.alloc (Mat.create_space ()) ~rows:(n + 1) ~cols:(n + 1) in
+  let reset () =
+    let rng = Nd_util.Prng.create seed in
+    Mat.fill s (fun _ _ -> float_of_int (Nd_util.Prng.int rng 4));
+    Mat.fill t (fun _ _ -> float_of_int (Nd_util.Prng.int rng 4));
+    Mat.fill x (fun _ _ -> 0.);
+    Mat.fill reference (fun _ _ -> 0.);
+    for i = 1 to n do
+      for j = 1 to n do
+        let v =
+          if Mat.get s 0 (i - 1) = Mat.get t 0 (j - 1) then
+            Mat.get reference (i - 1) (j - 1) +. 1.
+          else
+            Float.max (Mat.get reference i (j - 1)) (Mat.get reference (i - 1) j)
+        in
+        Mat.set reference i j v
+      done
+    done
+  in
+  {
+    Workload.name = "lcs";
+    n;
+    base;
+    tree = lcs_tree ~vh_rule ~base x s t;
+    registry = Rules.registry;
+    reset;
+    check = (fun () -> Mat.max_abs_diff x reference);
+  }

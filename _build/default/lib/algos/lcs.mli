@@ -1,0 +1,19 @@
+(** Longest Common Subsequence in the ND model (Section 3, Eq. 17 and
+    Figure 11).
+
+    The DP table quadrants compose as
+
+    [(X00 ⇝HV (X01 ‖ X10)) ⇝VH X11]
+
+    with the recursive boundary-propagation rules "⇝H" (left block fires
+    the block to its right) and "⇝V" (top fires bottom).  The ND span is
+    O(n); serializing the fires gives the NP spawn tree of Figure 1. *)
+
+(** [workload ?variant ~n ~base ~seed ()] — LCS of two random sequences
+    of length [n] over a 4-letter alphabet; [check] compares the full DP
+    table with the serial reference (exact: integer-valued).  [`Literal]
+    uses the paper's printed "VH" pedigrees, which the race detector
+    rejects (see DESIGN.md). *)
+val workload :
+  ?variant:[ `Corrected | `Literal ] -> n:int -> base:int -> seed:int ->
+  unit -> Workload.t

@@ -1,0 +1,65 @@
+(** Dense matrices over a flat global address space.
+
+    Every algorithm instance allocates its operands from a {!space}.  A
+    matrix is a (possibly strided) rectangular view; [region] renders the
+    view as an interval set over the space's addresses, which is what
+    strands use as footprints.  The same space carries a float backing
+    store so the strand actions can perform the real computation — the
+    address of a cell in the footprint is its index in the store. *)
+
+type space
+
+val create_space : unit -> space
+
+(** [words space] is the number of allocated addresses. *)
+val words : space -> int
+
+type t = { space : space; base : int; rows : int; cols : int; stride : int }
+
+(** [alloc space ~rows ~cols] allocates a fresh row-major matrix
+    (contiguous: stride = cols), zero-initialized. *)
+val alloc : space -> rows:int -> cols:int -> t
+
+(** [sub m ~r0 ~c0 ~rows ~cols] is a view; no copy.
+    @raise Invalid_argument when out of bounds. *)
+val sub : t -> r0:int -> c0:int -> rows:int -> cols:int -> t
+
+(** [quad m qr qc] is one of the four quadrants ([qr], [qc] in {0, 1});
+    requires even dimensions. *)
+val quad : t -> int -> int -> t
+
+(** Row halves [top]/[bot] (for tall recursions); require even rows. *)
+val top : t -> t
+
+val bot : t -> t
+
+(** [region m] is the footprint of the view: one interval per row (or a
+    single interval when the view is contiguous). *)
+val region : t -> Nd_util.Interval_set.t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+(** [addr m i j] is the global address of cell (i, j). *)
+val addr : t -> int -> int -> int
+
+(** [fill m f] sets every cell to [f i j]. *)
+val fill : t -> (int -> int -> float) -> unit
+
+(** [copy_contents ~src ~dst] copies cell-wise; shapes must match. *)
+val copy_contents : src:t -> dst:t -> unit
+
+(** [max_abs_diff a b] is the max |a(i,j) - b(i,j)|; shapes must match. *)
+val max_abs_diff : t -> t -> float
+
+(** [snapshot m] materializes the view into a fresh space (detached copy),
+    useful for saving inputs before an in-place run. *)
+val snapshot : t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** [max_abs_diff_lower a b] like {!max_abs_diff} but restricted to the
+    lower triangle including the diagonal (for in-place factorizations
+    that leave the strict upper triangle unspecified). *)
+val max_abs_diff_lower : t -> t -> float

@@ -1,0 +1,165 @@
+module Is = Nd_util.Interval_set
+open Nd
+
+type variant = Literal | Safe
+
+let rule_name = function Literal -> "MM_literal" | Safe -> "MM"
+
+let registry ~variant:_ = Rules.registry
+
+let mm_leaf ~transposed_b ~sign c a b =
+  let work = c.Mat.rows * c.Mat.cols * a.Mat.cols in
+  let reads = Is.union (Mat.region c) (Is.union (Mat.region a) (Mat.region b)) in
+  let action () =
+    if transposed_b then Kernels.mm_acc_nt ~sign c a b
+    else Kernels.mm_acc ~sign c a b
+  in
+  Spawn_tree.leaf
+    (Strand.make
+       ~label:(if sign >= 0. then "mm" else "mms")
+       ~work ~reads ~writes:(Mat.region c) ~action ())
+
+(* The 2-way recursion of Section 2.  [kq a k] selects the inner-dimension
+   half [k] of the left operand; [kq b k] of the right operand (for the
+   transposed form both operands split by columns). *)
+let rec mm_rec ~rule ~transposed_b ~sign ~base c a b =
+  if c.Mat.rows <= base then mm_leaf ~transposed_b ~sign c a b
+  else
+    let go = mm_rec ~rule ~transposed_b ~sign ~base in
+    let ca i j = Mat.quad c i j and aq i j = Mat.quad a i j and bq i j = Mat.quad b i j in
+    (* left operand inner half k = column half of a; right operand inner
+       half = row half of b, or column half of b when transposed. *)
+    let bk k i = if transposed_b then bq i k else bq k i in
+    let half k =
+      Spawn_tree.par
+        [
+          Spawn_tree.par [ go (ca 0 0) (aq 0 k) (bk k 0); go (ca 0 1) (aq 0 k) (bk k 1) ];
+          Spawn_tree.par [ go (ca 1 0) (aq 1 k) (bk k 0); go (ca 1 1) (aq 1 k) (bk k 1) ];
+        ]
+    in
+    Spawn_tree.fire ~rule (half 0) (half 1)
+
+let check_square name c a b =
+  let open Mat in
+  if
+    c.rows <> c.cols || a.rows <> a.cols || b.rows <> b.cols
+    || a.rows <> c.rows || b.rows <> c.rows
+  then invalid_arg (name ^ ": operands must be square and equal size")
+
+let mm_tree ~variant ~sign ~base c a b =
+  check_square "Matmul.mm_tree" c a b;
+  Workload.validate_shape ~n:c.Mat.rows ~base;
+  mm_rec ~rule:(rule_name variant) ~transposed_b:false ~sign ~base c a b
+
+let mm_nt_tree ~variant ~sign ~base c a b =
+  check_square "Matmul.mm_nt_tree" c a b;
+  Workload.validate_shape ~n:c.Mat.rows ~base;
+  mm_rec ~rule:(rule_name variant) ~transposed_b:true ~sign ~base c a b
+
+(* ------------------------- 8-way NP algorithm ---------------------- *)
+
+let add_leaf c d =
+  let reads = Is.union (Mat.region c) (Mat.region d) in
+  let action () =
+    for i = 0 to c.Mat.rows - 1 do
+      for j = 0 to c.Mat.cols - 1 do
+        Mat.set c i j (Mat.get c i j +. Mat.get d i j)
+      done
+    done
+  in
+  Spawn_tree.leaf
+    (Strand.make ~label:"madd" ~work:(c.Mat.rows * c.Mat.cols) ~reads
+       ~writes:(Mat.region c) ~action ())
+
+let rec add_tree ~base c d =
+  if c.Mat.rows <= base then add_leaf c d
+  else
+    Spawn_tree.par
+      [
+        add_tree ~base (Mat.quad c 0 0) (Mat.quad d 0 0);
+        add_tree ~base (Mat.quad c 0 1) (Mat.quad d 0 1);
+        add_tree ~base (Mat.quad c 1 0) (Mat.quad d 1 0);
+        add_tree ~base (Mat.quad c 1 1) (Mat.quad d 1 1);
+      ]
+
+let mm8_tree ~space ~base c a b =
+  check_square "Matmul.mm8_tree" c a b;
+  Workload.validate_shape ~n:c.Mat.rows ~base;
+  let temps = ref [] in
+  let rec go c a b =
+    if c.Mat.rows <= base then mm_leaf ~transposed_b:false ~sign:1. c a b
+    else begin
+      let n = c.Mat.rows in
+      let d = Mat.alloc space ~rows:n ~cols:n in
+      temps := d :: !temps;
+      let ca i j = Mat.quad c i j
+      and da i j = Mat.quad d i j
+      and aq i j = Mat.quad a i j
+      and bq i j = Mat.quad b i j in
+      let products =
+        Spawn_tree.par
+          [
+            go (ca 0 0) (aq 0 0) (bq 0 0);
+            go (ca 0 1) (aq 0 0) (bq 0 1);
+            go (ca 1 0) (aq 1 0) (bq 0 0);
+            go (ca 1 1) (aq 1 0) (bq 0 1);
+            go (da 0 0) (aq 0 1) (bq 1 0);
+            go (da 0 1) (aq 0 1) (bq 1 1);
+            go (da 1 0) (aq 1 1) (bq 1 0);
+            go (da 1 1) (aq 1 1) (bq 1 1);
+          ]
+      in
+      Spawn_tree.seq [ products; add_tree ~base c d ]
+    end
+  in
+  let tree = go c a b in
+  (tree, !temps)
+
+(* --------------------------- workloads ----------------------------- *)
+
+let mm_operands ~n ~seed =
+  let space = Mat.create_space () in
+  let a = Mat.alloc space ~rows:n ~cols:n in
+  let b = Mat.alloc space ~rows:n ~cols:n in
+  let c = Mat.alloc space ~rows:n ~cols:n in
+  let reference = Mat.alloc (Mat.create_space ()) ~rows:n ~cols:n in
+  let reset_operands () =
+    let rng = Nd_util.Prng.create seed in
+    Kernels.fill_uniform a rng ~lo:0. ~hi:1.;
+    Kernels.fill_uniform b rng ~lo:0. ~hi:1.;
+    Mat.fill c (fun _ _ -> 0.);
+    Mat.fill reference (fun _ _ -> 0.);
+    Kernels.mm_acc ~sign:1. reference a b
+  in
+  (space, a, b, c, reference, reset_operands)
+
+let workload ?(variant = Safe) ~n ~base ~seed () =
+  Workload.validate_shape ~n ~base;
+  let _space, a, b, c, reference, reset = mm_operands ~n ~seed in
+  {
+    Workload.name = "mm";
+    n;
+    base;
+    tree = mm_tree ~variant ~sign:1. ~base c a b;
+    registry = registry ~variant;
+    reset;
+    check = (fun () -> Mat.max_abs_diff c reference);
+  }
+
+let workload8 ~n ~base ~seed () =
+  Workload.validate_shape ~n ~base;
+  let space, a, b, c, reference, reset_operands = mm_operands ~n ~seed in
+  let tree, temps = mm8_tree ~space ~base c a b in
+  let reset () =
+    reset_operands ();
+    List.iter (fun d -> Mat.fill d (fun _ _ -> 0.)) temps
+  in
+  {
+    Workload.name = "mm8";
+    n;
+    base;
+    tree;
+    registry = Rules.registry;
+    reset;
+    check = (fun () -> Mat.max_abs_diff c reference);
+  }

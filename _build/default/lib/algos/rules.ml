@@ -1,0 +1,366 @@
+open Nd.Fire_rule
+
+(* Pedigree conventions (see Program): on a Fire node step 1 = source,
+   step 2 = sink; on Seq/Par the i-th child.
+
+   Structure shapes the pedigrees refer to:
+   - matmul (MM fire):       Fire(MM, half0, half1),
+     half = Par[Par[c00; c01]; Par[c10; c11]]
+   - left TRS:  Fire(2TM2T, Par[Fire(TM, trs00, mms10); Fire(TM, trs01, mms11)],
+                            Par[trs10; trs11])
+   - right TRS: Fire(2TMR2T, Par[Fire(TM1, trs00, mms01); Fire(TM1, trs10, mms11)],
+                             Par[trs01; trs11])
+   - Cholesky:  Fire(CTMC, Fire(CT, cho00, trsr10), Fire(MC, syrk11, cho11))
+   - 1-D FW A:  Fire(ABAB, Fire(AB, a00, b01), Fire(AB, a11, b10))
+   - 1-D FW B:  Fire(BBBB, Par[b00; b01], Par[b10; b11])
+   - LCS:       Fire(VH, Fire(HV, lcs00, Par[lcs01; lcs10]), lcs11) *)
+
+let r p via q = rule p via q
+
+let mm_literal = [ r [ 1 ] (Named "MM_literal") [ 1 ]; r [ 2 ] (Named "MM_literal") [ 2 ] ]
+
+(* adds +<2> -> -<1> to the printed pair, totally ordering the
+   contributions to each quadrant chain (the printed pair alone leaves
+   the source's second half racing the sink's first half; a single
+   +<2> -> -<1> rule alone is also insufficient because the same set is
+   interpreted over both Fire and Par nodes as it descends) *)
+let mm_safe =
+  [
+    r [ 1 ] (Named "MM") [ 1 ];
+    r [ 2 ] (Named "MM") [ 2 ];
+    r [ 2 ] (Named "MM") [ 1 ];
+  ]
+
+(* Eq. 8, first block (verbatim: it is consistent with our structures).
+   Producer TRS(T00,B00) quadrant X_rc -> multiplies consuming X as the
+   second operand. *)
+let tm =
+  [
+    r [ 1; 1; 1 ] (Named "TM") [ 1; 1; 1 ];
+    r [ 1; 1; 1 ] (Named "TM") [ 1; 2; 1 ];
+    r [ 1; 2; 1 ] (Named "TM") [ 1; 1; 2 ];
+    r [ 1; 2; 1 ] (Named "TM") [ 1; 2; 2 ];
+    r [ 2; 1 ] (Named "TM") [ 2; 1; 1 ];
+    r [ 2; 1 ] (Named "TM") [ 2; 2; 1 ];
+    r [ 2; 2 ] (Named "TM") [ 2; 1; 2 ];
+    r [ 2; 2 ] (Named "TM") [ 2; 2; 2 ];
+  ]
+
+(* Produced X consumed as the FIRST operand of a multiply (paper's TM1,
+   with its two garbled pedigrees fixed and the duplicate removed). *)
+let tm1 =
+  [
+    r [ 1; 1; 1 ] (Named "TM1") [ 1; 1; 1 ];
+    r [ 1; 1; 1 ] (Named "TM1") [ 1; 1; 2 ];
+    r [ 1; 2; 1 ] (Named "TM1") [ 1; 2; 1 ];
+    r [ 1; 2; 1 ] (Named "TM1") [ 1; 2; 2 ];
+    r [ 2; 1 ] (Named "TM1") [ 2; 1; 1 ];
+    r [ 2; 1 ] (Named "TM1") [ 2; 1; 2 ];
+    r [ 2; 2 ] (Named "TM1") [ 2; 2; 1 ];
+    r [ 2; 2 ] (Named "TM1") [ 2; 2; 2 ];
+  ]
+
+(* consumed as both operands (Cholesky's symmetric rank update): union *)
+let tm2 = [ r [] (Named "TM") []; r [] (Named "TM1") [] ]
+
+(* Eq. 5 (verbatim) *)
+let tm2t2 = [ r [ 1; 2 ] (Named "MT") [ 1 ]; r [ 2; 2 ] (Named "MT") [ 2 ] ]
+
+let tmr2t2 = [ r [ 1; 2 ] (Named "MTR") [ 1 ]; r [ 2; 2 ] (Named "MTR") [ 2 ] ]
+
+let tm2t2_literal =
+  [ r [ 1; 2 ] (Named "MT_literal") [ 1 ]; r [ 2; 2 ] (Named "MT_literal") [ 2 ] ]
+
+(* Eq. 8, third block, as printed.  The race detector shows this set
+   leaves the solver of B10_00 unordered with the final update of B10_00
+   (the source-half pedigrees are swapped); kept for the E8 experiment. *)
+let mt_literal =
+  [
+    r [ 2; 1; 1 ] (Named "MM_literal") [ 1; 1; 2 ];
+    r [ 2; 1; 2 ] (Named "MM_literal") [ 1; 2; 2 ];
+    r [ 2; 2; 1 ] (Named "MT_literal") [ 1; 1; 1 ];
+    r [ 2; 2; 2 ] (Named "MT_literal") [ 1; 2; 1 ];
+  ]
+
+(* Corrected: final updater of each B quadrant fires its consumer — the
+   solve for the left column, the sink's own update for the right. *)
+let mt =
+  [
+    r [ 2; 1; 1 ] (Named "MT") [ 1; 1; 1 ];
+    r [ 2; 1; 2 ] (Named "MT") [ 1; 2; 1 ];
+    r [ 2; 2; 1 ] (Named "MM") [ 1; 1; 2 ];
+    r [ 2; 2; 2 ] (Named "MM") [ 1; 2; 2 ];
+  ]
+
+(* right-solve flavor: sink is Fire(2TMR2T, ...) whose first-pair solves
+   B_00 and updates B_01 *)
+let mtr =
+  [
+    r [ 2; 1; 1 ] (Named "MTR") [ 1; 1; 1 ];
+    r [ 2; 2; 1 ] (Named "MTR") [ 1; 2; 1 ];
+    r [ 2; 1; 2 ] (Named "MM") [ 1; 1; 2 ];
+    r [ 2; 2; 2 ] (Named "MM") [ 1; 2; 2 ];
+  ]
+
+(* --------------------------- Cholesky ----------------------------- *)
+(* Eq. 11.  Producer CHO(A00) = Fire(CTMC, Fire(CT, cho, trsr), Fire(MC,
+   syrk, cho)): L00_00 <- +<1.1>, L00_10 <- +<1.2>, L00_11 <- +<2.2>.
+   Consumer TRSR(L00, A10): T00 used by solves -<1.1.1>, -<1.2.1>;
+   T10 used (as transposed second operand) by updates -<1.1.2>, -<1.2.2>;
+   T11 by solves -<2.1>, -<2.2>. *)
+let ct =
+  [
+    r [ 1; 1 ] (Named "CT") [ 1; 1; 1 ];
+    r [ 1; 1 ] (Named "CT") [ 1; 2; 1 ];
+    r [ 1; 2 ] (Named "TM") [ 1; 1; 2 ];
+    r [ 1; 2 ] (Named "TM") [ 1; 2; 2 ];
+    r [ 2; 2 ] (Named "CT") [ 2; 1 ];
+    r [ 2; 2 ] (Named "CT") [ 2; 2 ];
+  ]
+
+(* verbatim: the TRSR output L10 is consumed by the symmetric update as
+   both operands *)
+let ctmc = [ r [ 2 ] (Named "TM2") [ 1 ] ]
+
+(* Final updaters of A11 quadrants fire their consumers in CHO(A11):
+   A11_00 -> recursive CHO, A11_10 -> the TRSR panel, A11_11 -> the
+   sink's own symmetric update (MM-type; the paper's printed
+   +<2.2.2> MC -<2.2> skips that update and leaves a race). *)
+let mc =
+  [
+    r [ 2; 1; 1 ] (Named "MC") [ 1; 1 ];
+    r [ 2; 2; 1 ] (Named "MTR") [ 1; 2 ];
+    r [ 2; 2; 2 ] (Named "MM") [ 2; 1 ];
+  ]
+
+(* ------------------------ 1-D Floyd–Warshall ----------------------- *)
+(* Eq. 14 (verbatim, with the missing sink marker in BB's second rule
+   read as -<1.2>). *)
+
+let ab =
+  [
+    r [ 1; 1 ] (Named "AB") [ 1; 1 ];
+    r [ 1; 1 ] (Named "AB") [ 1; 2 ];
+    r [ 2; 1 ] (Named "AB") [ 2; 1 ];
+    r [ 2; 1 ] (Named "AB") [ 2; 2 ];
+  ]
+
+(* The printed set { +<2> BA -<1> } carries only the B01 -> A11 arrows;
+   the race detector shows the column dependency X00 -> X10 (the sink's B
+   task reads X00's bottom row) is then uncovered.  "VAB" (an A task
+   firing the B task directly below it) closes it: A's bottom-left region
+   is its B10 child (a B-over-B dependency) and its bottom-right region is
+   its A11 child (recursively VAB). *)
+let abab = [ r [ 2 ] (Named "BA") [ 1 ]; r [ 1 ] (Named "VAB") [ 2 ] ]
+
+let abab_literal = [ r [ 2 ] (Named "BA") [ 1 ] ]
+
+let vab = [ r [ 2; 2 ] (Named "BB") [ 1; 1 ]; r [ 2; 1 ] (Named "VAB") [ 1; 2 ] ]
+
+let ba = [ r [ 2; 1 ] (Named "BA") [ 1; 1 ]; r [ 2; 2 ] (Named "BB") [ 1; 2 ] ]
+
+let bbbb = [ r [ 1 ] (Named "BB") [ 1 ]; r [ 2 ] (Named "BB") [ 2 ] ]
+
+let bb = [ r [ 2; 1 ] (Named "BB") [ 1; 1 ]; r [ 2; 2 ] (Named "BB") [ 1; 2 ] ]
+
+(* --------------------- 2-D Floyd-Warshall back-updates ------------- *)
+(* After the trailing solves of a panel, the first half of the panel is
+   re-updated through the second-half k's; the solved second half is
+   consumed as the second (column panels) or first (row panels) operand. *)
+
+(* Unlike plain TRS, the FW panels are wrapped in a back-update stage:
+   B = Fire(FWB_BACK, Fire(FWB2T, src, snk), Par[backD; backD]), so the
+   TRS rule types (whose pedigrees assume the bare 2TM2T shape) cannot be
+   reused for arrows whose endpoint is a panel task.  The FW-specific
+   producer maps are: in a B panel, x00/x01 are finally written by the
+   back updates (+<2.1>/+<2.2>) and x10/x11 by the trailing solves
+   (+<1.2.1>/+<1.2.2>); consumers follow the matmul operand patterns.
+
+   Type naming: [XY]k = task of type X produces a block consumed by a
+   task of type Y as its k-th operand (D = the min-plus multiply;
+   DB / DC have the panel as the consumer of its own in/out block). *)
+
+let dd2 =
+  [
+    r [ 2; 1; 1 ] (Named "DD2") [ 1; 1; 1 ];
+    r [ 2; 1; 1 ] (Named "DD2") [ 1; 2; 1 ];
+    r [ 2; 1; 2 ] (Named "DD2") [ 1; 1; 2 ];
+    r [ 2; 1; 2 ] (Named "DD2") [ 1; 2; 2 ];
+    r [ 2; 2; 1 ] (Named "DD2") [ 2; 1; 1 ];
+    r [ 2; 2; 1 ] (Named "DD2") [ 2; 2; 1 ];
+    r [ 2; 2; 2 ] (Named "DD2") [ 2; 1; 2 ];
+    r [ 2; 2; 2 ] (Named "DD2") [ 2; 2; 2 ];
+  ]
+
+let dd1 =
+  [
+    r [ 2; 1; 1 ] (Named "DD1") [ 1; 1; 1 ];
+    r [ 2; 1; 1 ] (Named "DD1") [ 1; 1; 2 ];
+    r [ 2; 1; 2 ] (Named "DD1") [ 2; 1; 1 ];
+    r [ 2; 1; 2 ] (Named "DD1") [ 2; 1; 2 ];
+    r [ 2; 2; 1 ] (Named "DD1") [ 1; 2; 1 ];
+    r [ 2; 2; 1 ] (Named "DD1") [ 1; 2; 2 ];
+    r [ 2; 2; 2 ] (Named "DD1") [ 2; 2; 1 ];
+    r [ 2; 2; 2 ] (Named "DD1") [ 2; 2; 2 ];
+  ]
+
+let bd2 =
+  [
+    r [ 2; 1 ] (Named "DD2") [ 1; 1; 1 ];
+    r [ 2; 1 ] (Named "DD2") [ 1; 2; 1 ];
+    r [ 2; 2 ] (Named "DD2") [ 1; 1; 2 ];
+    r [ 2; 2 ] (Named "DD2") [ 1; 2; 2 ];
+    r [ 1; 2; 1 ] (Named "BD2") [ 2; 1; 1 ];
+    r [ 1; 2; 1 ] (Named "BD2") [ 2; 2; 1 ];
+    r [ 1; 2; 2 ] (Named "BD2") [ 2; 1; 2 ];
+    r [ 1; 2; 2 ] (Named "BD2") [ 2; 2; 2 ];
+  ]
+
+let cd1 =
+  [
+    r [ 2; 1 ] (Named "DD1") [ 1; 1; 1 ];
+    r [ 2; 1 ] (Named "DD1") [ 1; 1; 2 ];
+    r [ 2; 2 ] (Named "DD1") [ 1; 2; 1 ];
+    r [ 2; 2 ] (Named "DD1") [ 1; 2; 2 ];
+    r [ 1; 2; 1 ] (Named "CD1") [ 2; 1; 1 ];
+    r [ 1; 2; 1 ] (Named "CD1") [ 2; 1; 2 ];
+    r [ 1; 2; 2 ] (Named "CD1") [ 2; 2; 1 ];
+    r [ 1; 2; 2 ] (Named "CD1") [ 2; 2; 2 ];
+  ]
+
+(* a D update fires the panel consuming the block it wrote: the panel's
+   first toucher of x00/x01 (resp. x00/x10) is a nested solve; of the
+   other two quadrants its own forward D (same-output: MM) *)
+let db =
+  [
+    r [ 2; 1; 1 ] (Named "DB") [ 1; 1; 1; 1 ];
+    r [ 2; 1; 2 ] (Named "DB") [ 1; 1; 2; 1 ];
+    r [ 2; 2; 1 ] (Named "MM") [ 1; 1; 1; 2 ];
+    r [ 2; 2; 2 ] (Named "MM") [ 1; 1; 2; 2 ];
+  ]
+
+let dc =
+  [
+    r [ 2; 1; 1 ] (Named "DC") [ 1; 1; 1; 1 ];
+    r [ 2; 1; 2 ] (Named "MM") [ 1; 1; 1; 2 ];
+    r [ 2; 2; 1 ] (Named "DC") [ 1; 1; 2; 1 ];
+    r [ 2; 2; 2 ] (Named "MM") [ 1; 1; 2; 2 ];
+  ]
+
+let fwb2t = [ r [ 1; 2 ] (Named "DB") [ 1 ]; r [ 2; 2 ] (Named "DB") [ 2 ] ]
+
+let fwc2t = [ r [ 1; 2 ] (Named "DC") [ 1 ]; r [ 2; 2 ] (Named "DC") [ 2 ] ]
+
+(* The forward updates (+<1.x.2>) READ the first-half blocks the back
+   updates overwrite (an anti-dependency the partial chains do not fully
+   cover), so those arrows are full. *)
+let fwb_back =
+  [
+    r [ 2; 1 ] (Named "BD2") [ 1 ];
+    r [ 2; 2 ] (Named "BD2") [ 2 ];
+    r [ 1; 1; 2 ] Full [ 1 ];
+    r [ 1; 2; 2 ] Full [ 2 ];
+  ]
+
+let fwc_back =
+  [
+    r [ 2; 1 ] (Named "CD1") [ 1 ];
+    r [ 2; 2 ] (Named "CD1") [ 2 ];
+    r [ 1; 1; 2 ] Full [ 1 ];
+    r [ 1; 2; 2 ] Full [ 2 ];
+  ]
+
+(* ---------------------------- 1-D stencil --------------------------- *)
+(* Section 5's expressibility claim ("other algorithms such as stencils
+   ... can also be effectively described"): timesteps are chained with
+   ST_CHAIN over a right-nested fire spine — the sink of every chain
+   fire is the next fire node, so sink pedigrees carry a leading 1 —
+   and within a step, block i of row t+1 depends on blocks i-1, i, i+1
+   of row t: same-position descent (ST_STEP) plus the two boundary
+   descents (rightmost-of-left -> leftmost-of-right and vice versa). *)
+
+let st_step =
+  [
+    r [ 1 ] (Named "ST_STEP") [ 1 ];
+    r [ 2 ] (Named "ST_STEP") [ 2 ];
+    r [ 1 ] (Named "ST_SR") [ 2 ];
+    r [ 2 ] (Named "ST_SL") [ 1 ];
+  ]
+
+let st_sr = [ r [ 2 ] (Named "ST_SR") [ 1 ] ]
+
+let st_sl = [ r [ 1 ] (Named "ST_SL") [ 2 ] ]
+
+let st_chain =
+  [
+    r [ 1 ] (Named "ST_STEP") [ 1; 1 ];
+    r [ 2 ] (Named "ST_STEP") [ 1; 2 ];
+    r [ 1 ] (Named "ST_SR") [ 1; 2 ];
+    r [ 2 ] (Named "ST_SL") [ 1; 1 ];
+  ]
+
+(* ------------------------------ LCS -------------------------------- *)
+(* Eqs. 18-21 (verbatim). *)
+
+let hv = [ r [] (Named "H") [ 1 ]; r [] (Named "V") [ 2 ] ]
+
+(* The paper prints { +<1> V -, +<2> H - }, which under the uniform
+   fire-node pedigree convention binds +<1> to X00 — geometrically X00 is
+   not adjacent to X11 and the race detector rejects the set.  The sink
+   X11 is below X01 = +<2.1> and right of X10 = +<2.2>. *)
+let vh = [ r [ 2; 1 ] (Named "V") []; r [ 2; 2 ] (Named "H") [] ]
+
+let vh_literal = [ r [ 1 ] (Named "V") []; r [ 2 ] (Named "H") [] ]
+
+let h =
+  [ r [ 1; 2; 1 ] (Named "H") [ 1; 1 ]; r [ 2 ] (Named "H") [ 1; 2; 2 ] ]
+
+let v =
+  [ r [ 1; 2; 2 ] (Named "V") [ 1; 1 ]; r [ 2 ] (Named "V") [ 1; 2; 1 ] ]
+
+let registry =
+  List.fold_left
+    (fun reg (name, rules) -> define reg name rules)
+    empty_registry
+    [
+      ("MM", mm_safe);
+      ("MM_literal", mm_literal);
+      ("TM", tm);
+      ("TM1", tm1);
+      ("TM2", tm2);
+      ("2TM2T", tm2t2);
+      ("2TM2T_literal", tm2t2_literal);
+      ("2TMR2T", tmr2t2);
+      ("MT", mt);
+      ("MT_literal", mt_literal);
+      ("MTR", mtr);
+      ("CT", ct);
+      ("CTMC", ctmc);
+      ("MC", mc);
+      ("AB", ab);
+      ("ABAB", abab);
+      ("ABAB_literal", abab_literal);
+      ("VAB", vab);
+      ("BA", ba);
+      ("BBBB", bbbb);
+      ("BB", bb);
+      ("FWB_BACK", fwb_back);
+      ("FWC_BACK", fwc_back);
+      ("FWB2T", fwb2t);
+      ("FWC2T", fwc2t);
+      ("BD2", bd2);
+      ("CD1", cd1);
+      ("DD2", dd2);
+      ("DD1", dd1);
+      ("DB", db);
+      ("DC", dc);
+      ("ST_STEP", st_step);
+      ("ST_SR", st_sr);
+      ("ST_SL", st_sl);
+      ("ST_CHAIN", st_chain);
+      ("HV", hv);
+      ("VH", vh);
+      ("VH_literal", vh_literal);
+      ("H", h);
+      ("V", v);
+    ]

@@ -1,0 +1,25 @@
+(** The complete fire-rule registry for the paper's algorithms.
+
+    One registry holds every fire type so that algorithms can be composed
+    freely (TRS inside Cholesky inside LU...).  Where the paper's printed
+    rule sets contain typos or leave determinacy races (verified with
+    {!Nd_dag.Race}), the corrected set carries the plain name and the
+    verbatim printed set carries a ["_literal"] suffix; DESIGN.md lists
+    every correction.
+
+    Naming follows the paper:
+    - ["MM"]: matmul halves over the same output (safe, totally ordered
+      per quadrant chain); ["MM_literal"]: the printed two-rule set.
+    - ["TM"]: triangular-solve output consumed as the second operand of a
+      multiply; ["TM1"]: consumed as the first operand; ["TM2"]: consumed
+      as both (union, used by Cholesky's symmetric update).
+    - ["MT"]: multiply output consumed by a triangular solve (left-solve
+      flavor); ["MT_literal"]: the printed set; ["MTR"]: right-solve
+      flavor.
+    - ["2TM2T"] / ["2TMR2T"]: the top-level TRS composition (Eq. 5).
+    - ["CT"], ["CTMC"], ["MC"]: Cholesky (Eq. 11).
+    - ["AB"], ["ABAB"], ["BA"], ["BBBB"], ["BB"]: 1-D Floyd–Warshall
+      (Eq. 14).
+    - ["HV"], ["VH"], ["H"], ["V"]: LCS (Eqs. 17–21). *)
+
+val registry : Nd.Fire_rule.registry

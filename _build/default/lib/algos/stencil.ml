@@ -1,0 +1,77 @@
+module Is = Nd_util.Interval_set
+open Nd
+
+(* dst(i) <- (src(i-1) + src(i) + src(i+1)) / 3, Dirichlet boundaries *)
+let block_action ~n ~src ~dst lo hi () =
+  for i = lo to hi - 1 do
+    if i = 0 || i = n - 1 then Mat.set dst 0 i (Mat.get src 0 i)
+    else
+      Mat.set dst 0 i
+        ((Mat.get src 0 (i - 1) +. Mat.get src 0 i +. Mat.get src 0 (i + 1))
+        /. 3.)
+  done
+
+let block_strand ~n ~src ~dst lo hi =
+  let rlo = max 0 (lo - 1) and rhi = min n (hi + 1) in
+  Spawn_tree.leaf
+    (Strand.make ~label:"stencil"
+       ~work:(3 * (hi - lo))
+       ~reads:(Is.interval (Mat.addr src 0 rlo) (Mat.addr src 0 rlo + (rhi - rlo)))
+       ~writes:(Is.interval (Mat.addr dst 0 lo) (Mat.addr dst 0 lo + (hi - lo)))
+       ~action:(block_action ~n ~src ~dst lo hi)
+       ())
+
+(* balanced binary Par tree over the row's blocks *)
+let row_tree ~n ~base ~src ~dst =
+  let rec go lo hi =
+    if hi - lo <= base then block_strand ~n ~src ~dst lo hi
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      Spawn_tree.par [ go lo mid; go mid hi ]
+  in
+  go 0 n
+
+let stencil_tree ~n ~base ~steps buf0 buf1 =
+  let row t =
+    let src = if t mod 2 = 0 then buf0 else buf1 in
+    let dst = if t mod 2 = 0 then buf1 else buf0 in
+    row_tree ~n ~base ~src ~dst
+  in
+  let terminal = Spawn_tree.leaf (Strand.nop "stencil.end") in
+  let rec spine t =
+    if t >= steps then terminal
+    else Spawn_tree.fire ~rule:"ST_CHAIN" (row t) (spine (t + 1))
+  in
+  spine 0
+
+let workload ~n ~base ~seed () =
+  Workload.validate_shape ~n ~base;
+  let steps = max 1 (n / 4) in
+  let space = Mat.create_space () in
+  let buf0 = Mat.alloc space ~rows:1 ~cols:n in
+  let buf1 = Mat.alloc space ~rows:1 ~cols:n in
+  let rspace = Mat.create_space () in
+  let r0 = Mat.alloc rspace ~rows:1 ~cols:n in
+  let r1 = Mat.alloc rspace ~rows:1 ~cols:n in
+  let reset () =
+    let rng = Nd_util.Prng.create seed in
+    Kernels.fill_uniform buf0 rng ~lo:0. ~hi:100.;
+    Mat.fill buf1 (fun _ _ -> 0.);
+    Mat.copy_contents ~src:buf0 ~dst:r0;
+    Mat.fill r1 (fun _ _ -> 0.);
+    for t = 0 to steps - 1 do
+      let src = if t mod 2 = 0 then r0 else r1 in
+      let dst = if t mod 2 = 0 then r1 else r0 in
+      block_action ~n ~src ~dst 0 n ()
+    done
+  in
+  let final, rfinal = if steps mod 2 = 0 then (buf0, r0) else (buf1, r1) in
+  {
+    Workload.name = "stencil";
+    n;
+    base;
+    tree = stencil_tree ~n ~base ~steps buf0 buf1;
+    registry = Rules.registry;
+    reset;
+    check = (fun () -> Mat.max_abs_diff final rfinal);
+  }

@@ -1,0 +1,17 @@
+(** 1-D 3-point Jacobi stencil in the ND model — the paper's Section-5
+    claim that stencils "can also be effectively described" with the
+    fire construct.
+
+    Two ping-pong row buffers; each timestep is a balanced Par tree of
+    block strands, and consecutive timesteps are composed with the
+    "ST_CHAIN" fire over a right-nested spine: block i of step t+1 fires
+    as soon as blocks i-1, i, i+1 of step t are done (the wavefront),
+    instead of waiting for the whole step as the NP projection does.
+    The write-after-read hazard between steps t and t+2 on the shared
+    buffer is covered transitively by the same arrows (machine-checked
+    by the race detector). *)
+
+(** [workload ~n ~base ~seed ()] — [n] cells, [n/4] timesteps, Dirichlet
+    boundaries, block size [base]; [check] compares the final buffer
+    with the serial reference (exact). *)
+val workload : n:int -> base:int -> seed:int -> unit -> Workload.t

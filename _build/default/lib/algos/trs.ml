@@ -1,0 +1,118 @@
+module Is = Nd_util.Interval_set
+open Nd
+
+type variant = Literal | Corrected
+
+let trs_leaf ~kind t b =
+  (* substitution on a base block: ~ rows^2 * cols multiply-adds *)
+  let work = b.Mat.rows * b.Mat.cols * t.Mat.rows in
+  let reads = Is.union (Mat.region t) (Mat.region b) in
+  let action () =
+    match kind with
+    | `Left -> Kernels.trs_left t b
+    | `Left_unit -> Kernels.trs_left_unit t b
+    | `Right -> Kernels.trs_right t b
+  in
+  Spawn_tree.leaf
+    (Strand.make
+       ~label:(match kind with `Right -> "trsr" | `Left | `Left_unit -> "trs")
+       ~work ~reads ~writes:(Mat.region b) ~action ())
+
+(* Eq. 4: src solves the top half of B against T00 and applies the T10
+   updates; snk solves the bottom half against T11. *)
+let trs_tree ?(variant = Corrected) ?(unit = false) ~base t b =
+  if t.Mat.rows <> t.Mat.cols || t.Mat.rows <> b.Mat.rows || b.Mat.rows <> b.Mat.cols
+  then invalid_arg "Trs.trs_tree: T, B must be square and equal size";
+  Workload.validate_shape ~n:t.Mat.rows ~base;
+  let top_rule, tm_rule, mm_variant =
+    match variant with
+    | Corrected -> ("2TM2T", "TM", Matmul.Safe)
+    | Literal -> ("2TM2T_literal", "TM", Matmul.Literal)
+  in
+  let leaf_kind = if unit then `Left_unit else `Left in
+  let rec go t b =
+    if t.Mat.rows <= base then trs_leaf ~kind:leaf_kind t b
+    else
+      let t00 = Mat.quad t 0 0 and t10 = Mat.quad t 1 0 and t11 = Mat.quad t 1 1 in
+      let b00 = Mat.quad b 0 0
+      and b01 = Mat.quad b 0 1
+      and b10 = Mat.quad b 1 0
+      and b11 = Mat.quad b 1 1 in
+      let mms x target =
+        (* target -= T10 * x, where x is the just-solved block *)
+        Matmul.mm_tree ~variant:mm_variant ~sign:(-1.) ~base target t10 x
+      in
+      let src =
+        Spawn_tree.par
+          [
+            Spawn_tree.fire ~rule:tm_rule (go t00 b00) (mms b00 b10);
+            Spawn_tree.fire ~rule:tm_rule (go t00 b01) (mms b01 b11);
+          ]
+      in
+      let snk = Spawn_tree.par [ go t11 b10; go t11 b11 ] in
+      Spawn_tree.fire ~rule:top_rule src snk
+  in
+  go t b
+
+(* Right solve X T^T = B: columns of B are sequential, rows independent.
+   src solves the left half of B against T00 and applies the (transposed)
+   T10 updates to the right half; snk solves the right half against T11. *)
+let trsr_tree ~base t b =
+  if t.Mat.rows <> t.Mat.cols || b.Mat.cols <> t.Mat.rows || b.Mat.rows <> b.Mat.cols
+  then invalid_arg "Trs.trsr_tree: T, B must be square and equal size";
+  Workload.validate_shape ~n:t.Mat.rows ~base;
+  let rec go t b =
+    if t.Mat.rows <= base then trs_leaf ~kind:`Right t b
+    else
+      let t00 = Mat.quad t 0 0 and t10 = Mat.quad t 1 0 and t11 = Mat.quad t 1 1 in
+      let b00 = Mat.quad b 0 0
+      and b01 = Mat.quad b 0 1
+      and b10 = Mat.quad b 1 0
+      and b11 = Mat.quad b 1 1 in
+      let mms x target =
+        (* target -= x * T10^T, where x is the just-solved block *)
+        Matmul.mm_nt_tree ~variant:Matmul.Safe ~sign:(-1.) ~base target x t10
+      in
+      let src =
+        Spawn_tree.par
+          [
+            Spawn_tree.fire ~rule:"TM1" (go t00 b00) (mms b00 b01);
+            Spawn_tree.fire ~rule:"TM1" (go t00 b10) (mms b10 b11);
+          ]
+      in
+      let snk = Spawn_tree.par [ go t11 b01; go t11 b11 ] in
+      Spawn_tree.fire ~rule:"2TMR2T" src snk
+  in
+  go t b
+
+let make_workload ~right ?(variant = Corrected) ~n ~base ~seed () =
+  Workload.validate_shape ~n ~base;
+  let space = Mat.create_space () in
+  let t = Mat.alloc space ~rows:n ~cols:n in
+  let b = Mat.alloc space ~rows:n ~cols:n in
+  let reference = Mat.alloc (Mat.create_space ()) ~rows:n ~cols:n in
+  let reset () =
+    let rng = Nd_util.Prng.create seed in
+    Kernels.fill_lower_triangular t rng;
+    Kernels.fill_uniform b rng ~lo:0. ~hi:1.;
+    Mat.copy_contents ~src:b ~dst:reference;
+    if right then Kernels.trs_right t reference else Kernels.trs_left t reference
+  in
+  let tree =
+    if right then trsr_tree ~base t b else trs_tree ~variant ~base t b
+  in
+  {
+    Workload.name = (if right then "trsr" else "trs");
+    n;
+    base;
+    tree;
+    registry = Rules.registry;
+    reset;
+    check = (fun () -> Mat.max_abs_diff b reference);
+  }
+
+let workload ?variant ~n ~base ~seed () =
+  make_workload ~right:false ?variant ~n ~base ~seed ()
+
+let workload_right ~n ~base ~seed () =
+  make_workload ~right:true ~n ~base ~seed ()

@@ -1,0 +1,36 @@
+(** Triangular system solver in the ND model (Section 3 of the paper,
+    Eq. 4 and Figure 6).
+
+    [TRS(T, B)] overwrites [B] with the solution [X] of [T X = B], [T]
+    lower triangular.  The left-solve recursion splits [B] into quadrants:
+    the top half solves against [T00] while the [T10]-updates fire the
+    bottom-half solves ("⇝2TM2T" / "⇝TM" / "⇝MT").
+
+    Two MT variants are available: [Corrected] (default, determinacy-race
+    free — used by every experiment) and [Literal] (the paper's printed
+    Eq. 8 third block, which our race detector rejects; kept so tests and
+    the E8 experiment can demonstrate the difference).
+
+    The right-solve [trsr_tree] (solve [X T^T = B] in place) is the panel
+    step of Cholesky; its fire types are ["2TMR2T"] / ["TM1"] / ["MTR"]. *)
+
+type variant = Literal | Corrected
+
+(** [trs_tree ?variant ?unit ~base t b] — spawn tree overwriting [b] with
+    [t^-1 b].  Both square, power-of-two, [b.rows = t.rows].  With [unit]
+    the stored diagonal of [t] is ignored and treated as 1 (LU's packed
+    L factor). *)
+val trs_tree :
+  ?variant:variant -> ?unit:bool -> base:int -> Mat.t -> Mat.t ->
+  Nd.Spawn_tree.t
+
+(** [trsr_tree ~base t b] — spawn tree overwriting [b] with [b t^-T]. *)
+val trsr_tree : base:int -> Mat.t -> Mat.t -> Nd.Spawn_tree.t
+
+(** [workload ?variant ~n ~base ~seed ()] — left solve with a
+    well-conditioned random lower-triangular [t] and random [b]. *)
+val workload :
+  ?variant:variant -> n:int -> base:int -> seed:int -> unit -> Workload.t
+
+(** [workload_right ~n ~base ~seed ()] — the right solve. *)
+val workload_right : n:int -> base:int -> seed:int -> unit -> Workload.t

@@ -1,0 +1,26 @@
+type t = {
+  name : string;
+  n : int;
+  base : int;
+  tree : Nd.Spawn_tree.t;
+  registry : Nd.Fire_rule.registry;
+  reset : unit -> unit;
+  check : unit -> float;
+}
+
+type mode = ND | NP
+
+let mode_name = function ND -> "ND" | NP -> "NP"
+
+let compile ?(mode = ND) w =
+  let tree =
+    match mode with ND -> w.tree | NP -> Nd.Spawn_tree.serialize_fires w.tree
+  in
+  Nd.Program.compile ~registry:w.registry tree
+
+let pow2 x = x > 0 && x land (x - 1) = 0
+
+let validate_shape ~n ~base =
+  if not (pow2 n) then invalid_arg "Workload: n must be a power of two";
+  if not (pow2 base) then invalid_arg "Workload: base must be a power of two";
+  if base > n then invalid_arg "Workload: base > n"

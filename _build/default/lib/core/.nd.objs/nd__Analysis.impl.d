@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Format Nd_dag Program Spawn_tree

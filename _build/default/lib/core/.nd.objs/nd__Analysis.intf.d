@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Fire_rule Format Program Spawn_tree

@@ -1,0 +1,1 @@
+lib/core/fire_rule.ml: Format List Map Pedigree Printf String

@@ -1,0 +1,1 @@
+lib/core/fire_rule.mli: Format Pedigree

@@ -1,0 +1,1 @@
+lib/core/pedigree.ml: Format List Stdlib String

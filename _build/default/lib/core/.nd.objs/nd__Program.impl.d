@@ -1,0 +1,1 @@
+lib/core/program.ml: Array Fire_rule Hashtbl List Nd_dag Nd_util Pedigree Printf Spawn_tree Strand

@@ -1,0 +1,1 @@
+lib/core/program.mli: Fire_rule Nd_dag Nd_util Spawn_tree Strand

@@ -1,0 +1,1 @@
+lib/core/rule_check.ml: Array Format List Nd_dag Pedigree Printf Program

@@ -1,0 +1,1 @@
+lib/core/rule_check.mli: Format Nd_dag Pedigree Program

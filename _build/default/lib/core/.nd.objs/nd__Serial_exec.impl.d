@@ -1,0 +1,1 @@
+lib/core/serial_exec.ml: Array List Nd_dag Nd_util Program Spawn_tree Strand

@@ -1,0 +1,1 @@
+lib/core/serial_exec.mli: Nd_util Program

@@ -1,0 +1,1 @@
+lib/core/spawn_tree.ml: Format Hashtbl List Pedigree Strand

@@ -1,0 +1,1 @@
+lib/core/spawn_tree.mli: Format Pedigree Strand

@@ -1,0 +1,1 @@
+lib/core/strand.ml: Nd_util

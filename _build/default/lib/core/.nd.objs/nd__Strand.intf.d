@@ -1,0 +1,1 @@
+lib/core/strand.mli: Nd_util

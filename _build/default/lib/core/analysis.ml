@@ -1,0 +1,33 @@
+module Dag = Nd_dag.Dag
+
+type report = {
+  work : int;
+  span : int;
+  parallelism : float;
+  n_leaves : int;
+  n_vertices : int;
+  n_edges : int;
+}
+
+let analyze program =
+  let dag = Program.dag program in
+  let work = Dag.work dag in
+  let span = Dag.span dag in
+  {
+    work;
+    span;
+    parallelism = (if span = 0 then 0. else float_of_int work /. float_of_int span);
+    n_leaves = Program.n_leaves program;
+    n_vertices = Dag.n_vertices dag;
+    n_edges = Dag.n_edges dag;
+  }
+
+let analyze_tree ~registry tree = analyze (Program.compile ~registry tree)
+
+let np_of ~registry tree =
+  analyze_tree ~registry (Spawn_tree.serialize_fires tree)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "work=%d span=%d parallelism=%.2f leaves=%d vertices=%d edges=%d" r.work
+    r.span r.parallelism r.n_leaves r.n_vertices r.n_edges

@@ -1,0 +1,42 @@
+module SM = Map.Make (String)
+
+type target = Full | Named of string
+
+type rule = { src : Pedigree.t; via : target; dst : Pedigree.t }
+
+type registry = rule list SM.t
+
+let empty_registry = SM.empty
+
+let define reg name rules =
+  if SM.mem name reg then
+    invalid_arg (Printf.sprintf "Fire_rule.define: %S already defined" name);
+  SM.add name rules reg
+
+let find reg name =
+  match SM.find_opt name reg with
+  | Some r -> r
+  | None -> raise Not_found
+
+let mem reg name = SM.mem name reg
+
+let names reg = List.map fst (SM.bindings reg)
+
+let rule p via q = { src = Pedigree.of_list p; via; dst = Pedigree.of_list q }
+
+let merge a b =
+  SM.union
+    (fun name ra rb ->
+      if ra = rb then Some ra
+      else
+        invalid_arg
+          (Printf.sprintf "Fire_rule.merge: conflicting definitions for %S" name))
+    a b
+
+let pp_target ppf = function
+  | Full -> Format.pp_print_string ppf ";"
+  | Named n -> Format.fprintf ppf "~%s~>" n
+
+let pp_rule ppf r =
+  Format.fprintf ppf "+%s %a -%s" (Pedigree.to_string r.src) pp_target r.via
+    (Pedigree.to_string r.dst)

@@ -1,0 +1,43 @@
+(** Fire-rule sets: the parameters of the [⇝] construct.
+
+    A fire construct of type [R] between a source [+] and a sink [-] is
+    rewritten by the DRS according to the rules registered for [R].  Each
+    rule [+p ⇝R' -q] adds a dataflow arrow of type [R'] from the subtask of
+    the source at pedigree [p] to the subtask of the sink at pedigree [q];
+    arrows of type [R'] are rewritten recursively.  A rule may also demand a
+    full serial dependency ([Full], the paper's ";" inside rule bodies).
+
+    The registry is a value (not global state) so that algorithm variants —
+    e.g. the paper-literal MM rules vs. the race-free variant — can coexist. *)
+
+type target =
+  | Full  (** full dependency: everything in the source subtask precedes
+              everything in the sink subtask *)
+  | Named of string  (** recursive partial dependency of the given type *)
+
+type rule = { src : Pedigree.t; via : target; dst : Pedigree.t }
+
+type registry
+
+val empty_registry : registry
+
+(** [define reg name rules] registers the rule set for fire type [name].
+    @raise Invalid_argument if [name] is already defined. *)
+val define : registry -> string -> rule list -> registry
+
+(** [find reg name] returns the rules for [name].
+    @raise Not_found if no such fire type was defined. *)
+val find : registry -> string -> rule list
+
+val mem : registry -> string -> bool
+
+val names : registry -> string list
+
+(** [rule p via q] is a convenience constructor. *)
+val rule : int list -> target -> int list -> rule
+
+(** [merge a b] combines two registries.
+    @raise Invalid_argument on a name collision with differing rules. *)
+val merge : registry -> registry -> registry
+
+val pp_rule : Format.formatter -> rule -> unit

@@ -1,0 +1,22 @@
+type t = int list
+
+let empty = []
+
+let of_list steps =
+  List.iter
+    (fun s -> if s < 1 then invalid_arg "Pedigree.of_list: steps are 1-based")
+    steps;
+  steps
+
+let to_list t = t
+
+let append p q = p @ q
+
+let compare = Stdlib.compare
+
+let equal a b = a = b
+
+let to_string t =
+  "<" ^ String.concat "." (List.map string_of_int t) ^ ">"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

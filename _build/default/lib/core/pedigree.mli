@@ -1,0 +1,30 @@
+(** Relative pedigrees.
+
+    A pedigree identifies a nested subtask by the 1-based child indices on
+    the path from an ancestor, e.g. the paper's [+©2©1©] is the first
+    subtask of the second subtask of the node bound to [+©] and is written
+    here as [\[2; 1\]].  On a fire node, step 1 selects the source operand
+    and step 2 the sink operand, matching the paper's labelling of the MM
+    subtasks (1©1©1© ... 2©2©2©). *)
+
+type t = int list
+
+val empty : t
+
+(** [of_list steps] validates that every step is >= 1. *)
+val of_list : int list -> t
+
+val to_list : t -> int list
+
+(** [append p q] is the pedigree reaching [q] below the node reached by
+    [p]. *)
+val append : t -> t -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** [to_string p] renders like ["<2.1>"]; the empty pedigree is ["<>"]. *)
+val to_string : t -> string

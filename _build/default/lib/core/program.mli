@@ -1,0 +1,112 @@
+(** Compiled ND programs: the DAG Rewriting System (DRS).
+
+    [compile] fully unfolds a spawn tree and materializes the equivalent
+    algorithm DAG defined by the paper's two rewriting rules:
+
+    - {b Spawn rule}: every spawn-tree node contributes structure to the
+      DAG.  Strands become work-carrying vertices.  [Seq] chains its
+      children; [Par] and [Fire] fan out between zero-work begin/end
+      synchronization vertices, which keeps the DAG linear in the number of
+      leaves while preserving the precedence relation exactly (a full
+      dependency [a ; b] is the single edge [end(a) -> begin(b)], and
+      [end(a)] is a descendant of every leaf of [a]).
+
+    - {b Fire rule}: every [Fire] node seeds a dataflow arrow
+      [(src, snk, rule)] which is rewritten recursively: each registered
+      rule [+p ⇝R -q] resolves the pedigrees [p] and [q] below the arrow's
+      endpoints and recurses; arrows between two strands, and arrows whose
+      rules make no further progress, become full-dependency edges (the
+      paper: fire arrows incident to leaves are treated as solid arrows).
+      Fire types with an empty rule list behave as ["‖"].
+
+    Leaves are numbered in depth-first order, so every spawn-tree node
+    covers a contiguous leaf interval — the representation behind the
+    M-maximal decompositions used by the metrics and schedulers. *)
+
+type t
+
+type node_id = int
+
+type kind = Leaf of Strand.t | Seq | Par | Fire of string
+
+(** [compile ~registry tree] runs the DRS.
+    @raise Invalid_argument if the tree references an unregistered fire
+    type. *)
+val compile : registry:Fire_rule.registry -> Spawn_tree.t -> t
+
+val dag : t -> Nd_dag.Dag.t
+
+val tree : t -> Spawn_tree.t
+
+val registry : t -> Fire_rule.registry
+
+(** {2 Spawn-tree nodes} *)
+
+val n_nodes : t -> int
+
+val root : t -> node_id
+
+(** [parent t n] is [-1] for the root. *)
+val parent : t -> node_id -> node_id
+
+val children : t -> node_id -> node_id array
+
+val kind_of : t -> node_id -> kind
+
+(** [leaf_range t n] is the half-open interval of DFS leaf indices covered
+    by [n]'s subtree. *)
+val leaf_range : t -> node_id -> int * int
+
+val n_leaves : t -> int
+
+(** [leaf_node t i] / [leaf_vertex t i]: the node id / DAG vertex of the
+    [i]-th leaf in DFS order. *)
+val leaf_node : t -> int -> node_id
+
+val leaf_vertex : t -> int -> Nd_dag.Dag.vertex_id
+
+(** [vertex_owner t v] is the deepest spawn-tree node a DAG vertex belongs
+    to (strand vertices belong to their leaf; synchronization vertices to
+    the node that introduced them). *)
+val vertex_owner : t -> Nd_dag.Dag.vertex_id -> node_id
+
+(** [begin_vertex t n] / [end_vertex t n]: the DAG vertices such that
+    [begin] precedes and [end] follows every strand of [n]'s subtree. *)
+val begin_vertex : t -> node_id -> Nd_dag.Dag.vertex_id
+
+val end_vertex : t -> node_id -> Nd_dag.Dag.vertex_id
+
+(** {2 Sizes and footprints} *)
+
+(** [footprint t n]: union of the strand footprints in [n]'s subtree. *)
+val footprint : t -> node_id -> Nd_util.Interval_set.t
+
+(** [size t n] = s(n): distinct memory locations accessed by the subtree
+    (the paper's statically-allocated task size). *)
+val size : t -> node_id -> int
+
+(** [work_of_node t n]: total strand work in the subtree. *)
+val work_of_node : t -> node_id -> int
+
+(** {2 M-maximal decomposition} *)
+
+type decomposition = {
+  m : int;
+  tasks : node_id array;  (** maximal task roots, in DFS order *)
+  task_of_node : int array;  (** node -> task index, or -1 for glue nodes *)
+  task_of_vertex : int array;  (** DAG vertex -> task index, or -1 *)
+  n_glue : int;  (** number of glue nodes *)
+}
+
+(** [decompose t ~m] splits the spawn tree into M-maximal tasks (size at
+    most [m], parent bigger) and glue nodes.  A leaf whose strand exceeds
+    [m] is still a task of its own (it cannot be split).
+    @raise Invalid_argument if [m < 1]. *)
+val decompose : t -> m:int -> decomposition
+
+(** [enclosing_task d n]: task index containing node [n], or [-1] if [n]
+    is glue. *)
+val enclosing_task : decomposition -> node_id -> int
+
+(** [is_ancestor t a n] is true when [a] is an ancestor of [n] (or equal). *)
+val is_ancestor : t -> node_id -> node_id -> bool

@@ -1,0 +1,35 @@
+(** Fire-rule diagnosis: explain determinacy races in rule-set terms.
+
+    When {!Nd_dag.Race} finds an unordered conflicting strand pair, the
+    actionable question is {e which fire construct should have ordered
+    them, and with which pedigrees}.  [diagnose] lifts each race to the
+    lowest common ancestor of the two strands in the spawn tree and
+    reports their pedigrees relative to it — if the LCA is a fire node,
+    the fix is a rule [+p ⇝ -q] (or a refinement of one) in that fire's
+    rule set; if it is a par node, the parallelism itself is unsound.
+
+    This is the tool that located every correction catalogued in
+    DESIGN.md (the paper's MT, VH, ABAB and MM sets). *)
+
+type finding = {
+  race : Nd_dag.Race.race;
+  lca : Program.node_id;
+  lca_kind : Program.kind;
+  src_pedigree : Pedigree.t;  (** LCA -> the earlier-in-DFS strand *)
+  dst_pedigree : Pedigree.t;  (** LCA -> the later-in-DFS strand *)
+}
+
+(** [diagnose ?limit program] — one finding per detected race (default
+    limit 16).  Subject to {!Nd_dag.Dag.reachability}'s size limit. *)
+val diagnose : ?limit:int -> Program.t -> finding list
+
+(** [lca program a b] — lowest common ancestor of two nodes. *)
+val lca : Program.t -> Program.node_id -> Program.node_id -> Program.node_id
+
+(** [pedigree_from program ~ancestor node] — child indices from
+    [ancestor] down to [node].
+    @raise Invalid_argument if [ancestor] is not an ancestor of [node]. *)
+val pedigree_from :
+  Program.t -> ancestor:Program.node_id -> Program.node_id -> Pedigree.t
+
+val pp_finding : Program.t -> Format.formatter -> finding -> unit

@@ -1,0 +1,63 @@
+module Dag = Nd_dag.Dag
+
+let act program v =
+  let n = Program.vertex_owner program v in
+  if n >= 0 then
+    match Program.kind_of program n with
+    | Program.Leaf s -> ( match s.Strand.action with Some f -> f () | None -> ())
+    | Program.Seq | Program.Par | Program.Fire _ -> ()
+
+let run ?rng program =
+  let dag = Program.dag program in
+  let n = Dag.n_vertices dag in
+  let indeg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    indeg.(v) <- List.length (Dag.preds dag v)
+  done;
+  (* ready pool as an array with O(1) removal by swap *)
+  let ready = Array.make n 0 in
+  let n_ready = ref 0 in
+  let push v =
+    ready.(!n_ready) <- v;
+    incr n_ready
+  in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then push v
+  done;
+  let executed = ref 0 in
+  while !n_ready > 0 do
+    let i =
+      match rng with
+      | Some r -> Nd_util.Prng.int r !n_ready
+      | None -> !n_ready - 1
+    in
+    let v = ready.(i) in
+    ready.(i) <- ready.(!n_ready - 1);
+    decr n_ready;
+    act program v;
+    incr executed;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then push w)
+      (Dag.succs dag v)
+  done;
+  if !executed < n then begin
+    (* some vertex never became ready: a cycle *)
+    let witness = ref 0 in
+    for v = 0 to n - 1 do
+      if indeg.(v) > 0 then witness := v
+    done;
+    raise (Dag.Cycle !witness)
+  end
+
+let run_sequential program =
+  let rec go tree =
+    match tree with
+    | Spawn_tree.Leaf s -> ( match s.Strand.action with Some f -> f () | None -> ())
+    | Spawn_tree.Seq l | Spawn_tree.Par l -> List.iter go l
+    | Spawn_tree.Fire { src; snk; _ } ->
+      go src;
+      go snk
+  in
+  go (Program.tree program)

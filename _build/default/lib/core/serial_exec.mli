@@ -1,0 +1,16 @@
+(** Serial execution of a compiled program's algorithm DAG.
+
+    Runs every strand action exactly once, in an order consistent with the
+    DAG's dependencies.  With [rng], ready vertices are picked uniformly at
+    random, which — combined with the race detector — is how the test suite
+    checks that a fire-rule set carries {e enough} dependencies: a race-free
+    DAG must produce identical results under every topological order. *)
+
+(** [run ?rng program] executes strand actions in a (possibly randomized)
+    topological order.  @raise Nd_dag.Dag.Cycle on a cyclic DAG. *)
+val run : ?rng:Nd_util.Prng.t -> Program.t -> unit
+
+(** [run_sequential program] executes strand actions in the depth-first
+    (left-to-right) order of the spawn tree — the serial elision.  Ignores
+    the DAG entirely; used as the reference ordering. *)
+val run_sequential : Program.t -> unit

@@ -1,0 +1,20 @@
+module Is = Nd_util.Interval_set
+
+type t = {
+  label : string;
+  work : int;
+  reads : Is.t;
+  writes : Is.t;
+  action : (unit -> unit) option;
+}
+
+let make ~label ~work ~reads ~writes ?action () =
+  if work < 0 then invalid_arg "Strand.make: negative work";
+  { label; work; reads; writes; action }
+
+let footprint s = Is.union s.reads s.writes
+
+let size s = Is.cardinal (footprint s)
+
+let nop label =
+  { label; work = 0; reads = Is.empty; writes = Is.empty; action = None }

@@ -1,0 +1,37 @@
+(** Strands: the leaves of a spawn tree.
+
+    A strand is a segment of serial code with no parallel constructs.  For
+    analysis and scheduling it is characterized by its work (instruction
+    count) and its memory footprint, split into reads and writes over the
+    flat global address space managed by the algorithm layer.  For concrete
+    multicore execution it optionally carries an action closure performing
+    the real computation. *)
+
+type t = {
+  label : string;
+  work : int;
+  reads : Nd_util.Interval_set.t;
+  writes : Nd_util.Interval_set.t;
+  action : (unit -> unit) option;
+}
+
+(** [make ~label ~work ~reads ~writes ()] builds a strand.
+    @raise Invalid_argument if [work < 0]. *)
+val make :
+  label:string ->
+  work:int ->
+  reads:Nd_util.Interval_set.t ->
+  writes:Nd_util.Interval_set.t ->
+  ?action:(unit -> unit) ->
+  unit ->
+  t
+
+(** [footprint s] is the union of reads and writes. *)
+val footprint : t -> Nd_util.Interval_set.t
+
+(** [size s] is the number of distinct memory locations accessed. *)
+val size : t -> int
+
+(** [nop label] is a zero-work, empty-footprint strand (useful in tests and
+    in glue positions). *)
+val nop : string -> t

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Bytes Char List Nd_util Queue

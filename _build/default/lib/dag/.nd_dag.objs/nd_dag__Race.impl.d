@@ -1,0 +1,1 @@
+lib/dag/race.ml: Dag Format List Nd_util

@@ -1,0 +1,1 @@
+lib/dag/race.mli: Dag Format Nd_util

@@ -1,0 +1,44 @@
+module Is = Nd_util.Interval_set
+
+type race = {
+  u : Dag.vertex_id;
+  v : Dag.vertex_id;
+  overlap : Is.t;
+  write_write : bool;
+}
+
+(* Exhaustive pairwise check guarded by cheap footprint overlap tests; the
+   reachability closure answers the ordering question in O(1) per pair. *)
+let find_races ?(limit = 16) dag =
+  let n = Dag.n_vertices dag in
+  let reach = Dag.reachability dag in
+  let races = ref [] in
+  let count = ref 0 in
+  (try
+     for u = 0 to n - 1 do
+       let wu = Dag.writes_of dag u in
+       let ru = Dag.reads_of dag u in
+       if not (Is.is_empty wu && Is.is_empty ru) then
+         for v = u + 1 to n - 1 do
+           let wv = Dag.writes_of dag v in
+           let ww = Is.inter wu wv in
+           let rw = Is.union (Is.inter ru wv) (Is.inter wu (Dag.reads_of dag v)) in
+           if not (Is.is_empty ww && Is.is_empty rw) then
+             if not (Dag.reachable reach u v || Dag.reachable reach v u) then begin
+               let write_write = not (Is.is_empty ww) in
+               let overlap = if write_write then ww else rw in
+               races := { u; v; overlap; write_write } :: !races;
+               incr count;
+               if !count >= limit then raise Exit
+             end
+         done
+     done
+   with Exit -> ());
+  List.rev !races
+
+let race_free dag = find_races ~limit:1 dag = []
+
+let pp_race dag ppf r =
+  Format.fprintf ppf "%s race between #%d(%s) and #%d(%s) on %a"
+    (if r.write_write then "write-write" else "read-write")
+    r.u (Dag.label dag r.u) r.v (Dag.label dag r.v) Is.pp r.overlap

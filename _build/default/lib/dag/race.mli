@@ -1,0 +1,26 @@
+(** Determinacy-race detection on algorithm DAGs.
+
+    Two vertices race when their footprints conflict (write/write or
+    read/write overlap) and neither is an ancestor of the other.  The
+    paper's fire-rule sets are supposed to serialize every pair of subtasks
+    that write the same region; this module verifies that property for the
+    DAGs the DRS produces (experiment E8), and it is how we detected that
+    the literal MM rule set from Section 2 of the paper leaves a
+    write-write race (see DESIGN.md). *)
+
+type race = {
+  u : Dag.vertex_id;
+  v : Dag.vertex_id;
+  overlap : Nd_util.Interval_set.t;  (** conflicting addresses *)
+  write_write : bool;  (** [false] means a read/write conflict *)
+}
+
+(** [find_races ?limit dag] returns up to [limit] (default 16) races, or
+    [[]] when the DAG is determinacy-race free.  Exact: uses full
+    reachability, so subject to {!Dag.reachability}'s size limit. *)
+val find_races : ?limit:int -> Dag.t -> race list
+
+(** [race_free dag] is [find_races ~limit:1 dag = \[\]]. *)
+val race_free : Dag.t -> bool
+
+val pp_race : Dag.t -> Format.formatter -> race -> unit

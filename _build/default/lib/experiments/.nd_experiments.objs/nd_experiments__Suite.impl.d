@@ -1,0 +1,1 @@
+lib/experiments/suite.ml: Array Cholesky Float Fw1d Fw2d Lcs List Lu Matmul Nd Nd_algos Nd_dag Nd_mem Nd_pmh Nd_runtime Nd_sched Nd_util Printf String Trs Unix Workload Workloads

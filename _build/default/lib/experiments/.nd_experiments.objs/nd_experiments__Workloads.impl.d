@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Cholesky Fw1d Fw2d Gotoh Lcs List Lu Matmul Nd_algos Stencil Trs Workload

@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Nd_algos

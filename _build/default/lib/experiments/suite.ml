@@ -1,0 +1,421 @@
+module Table = Nd_util.Table
+module Stats = Nd_util.Stats
+module Pmh = Nd_pmh.Pmh
+open Nd_algos
+
+let seed = 20160215 (* the paper's arXiv date *)
+
+let sim_machine ~top_caches =
+  Pmh.create ~root_fanout:top_caches
+    [
+      { Pmh.size = 64; fanout = 1; miss_cost = 2 };
+      { Pmh.size = 512; fanout = 4; miss_cost = 8 };
+      { Pmh.size = 4096; fanout = 4; miss_cost = 32 };
+    ]
+
+let compile_both w =
+  (Workload.compile ~mode:Workload.ND w, Workload.compile ~mode:Workload.NP w)
+
+let fit_exponent pairs =
+  let xs = List.map (fun (n, _) -> float_of_int n) pairs in
+  let ys = List.map (fun (_, s) -> float_of_int s) pairs in
+  let e, _, _ = Stats.power_fit xs ys in
+  e
+
+(* ------------------------------ E1 --------------------------------- *)
+
+let e1_span () =
+  let t =
+    Table.create ~title:"E1: span, NP vs ND (Section 3; Figs. 1 and 8)"
+      [ "algo"; "n"; "work"; "span ND"; "span NP"; "NP/ND"; "ND/n" ]
+  in
+  List.iter
+    (fun fam ->
+      if fam.Workloads.name <> "mm8" then begin
+        let nd_points = ref [] and np_points = ref [] in
+        List.iter
+          (fun n ->
+            let w = Workloads.build ~n fam ~seed in
+            let pnd, pnp = compile_both w in
+            let rnd = Nd.Analysis.analyze pnd and rnp = Nd.Analysis.analyze pnp in
+            nd_points := (n, rnd.Nd.Analysis.span) :: !nd_points;
+            np_points := (n, rnp.Nd.Analysis.span) :: !np_points;
+            Table.add_row t
+              [
+                fam.Workloads.name;
+                Table.cell_int n;
+                Table.cell_int rnd.Nd.Analysis.work;
+                Table.cell_int rnd.Nd.Analysis.span;
+                Table.cell_int rnp.Nd.Analysis.span;
+                Table.cell_float ~prec:2
+                  (float_of_int rnp.Nd.Analysis.span
+                  /. float_of_int rnd.Nd.Analysis.span);
+                Table.cell_float ~prec:2
+                  (float_of_int rnd.Nd.Analysis.span /. float_of_int n);
+              ])
+          fam.Workloads.sizes;
+        Table.add_row t
+          [
+            fam.Workloads.name;
+            "fit";
+            "";
+            Printf.sprintf "n^%.2f" (fit_exponent !nd_points);
+            Printf.sprintf "n^%.2f" (fit_exponent !np_points);
+            "";
+            "";
+          ]
+      end)
+    Workloads.all;
+  Table.print t;
+  t
+
+(* ------------------------------ E2 --------------------------------- *)
+
+let e2_pcc () =
+  let t =
+    Table.create ~title:"E2: parallel cache complexity Q* (Claim 1)"
+      [ "algo"; "n"; "M"; "Q*"; "Q*/shape"; "Q1"; "Q1/Q*" ]
+  in
+  let dense = [ "mm"; "trs"; "cholesky"; "lu" ] in
+  let quad = [ "lcs"; "fw1d" ] in
+  let do_algo name n ms shape shape_name =
+    let fam = Workloads.find name in
+    let w = Workloads.build ~n fam ~seed in
+    let p = Workload.compile w in
+    List.iter
+      (fun m ->
+        let q = Nd_mem.Pcc.q_star p ~m in
+        let q1 = Nd_mem.Cache_sim.q1 p ~m in
+        Table.add_row t
+          [
+            name;
+            Table.cell_int n;
+            Table.cell_int m;
+            Table.cell_int q;
+            Printf.sprintf "%.3f %s" (float_of_int q /. shape n m) shape_name;
+            Table.cell_int q1;
+            Table.cell_float ~prec:2 (float_of_int q1 /. float_of_int q);
+          ])
+      ms
+  in
+  let dense_shape n m = float_of_int n ** 3. /. sqrt (float_of_int m) in
+  (* our table-based LCS/FW1D have Q* = Theta(n^2) + boundary term; the
+     paper's O(n^2/M) presumes the frontier formulation (EXPERIMENTS.md) *)
+  let quad_shape n _m = float_of_int (n * n) in
+  List.iter (fun a -> do_algo a 64 [ 16; 64; 256; 1024 ] dense_shape "*n^3/sqrt(M)") dense;
+  do_algo "apsp" 32 [ 16; 64; 256 ] dense_shape "*n^3/sqrt(M)";
+  List.iter (fun a -> do_algo a 256 [ 64; 256; 1024; 4096 ] quad_shape "*n^2 (table)") quad;
+  Table.print t;
+  t
+
+(* ------------------------------ E3 --------------------------------- *)
+
+let e3_misses () =
+  let t =
+    Table.create
+      ~title:"E3: SB per-level misses vs the Theorem-1 bound Q*(sigma*M_j)"
+      [ "algo"; "model"; "level"; "misses"; "Q*(sM_j)"; "ratio" ]
+  in
+  let machine = sim_machine ~top_caches:1 in
+  let sigma = 1. /. 3. in
+  List.iter
+    (fun (name, n) ->
+      let fam = Workloads.find name in
+      let w = Workloads.build ~n fam ~seed in
+      List.iter
+        (fun mode ->
+          let p = Workload.compile ~mode w in
+          let s = Nd_sched.Sb_sched.run ~sigma p machine in
+          for level = 1 to Pmh.n_levels machine do
+            let m =
+              max 1 (int_of_float (sigma *. float_of_int (Pmh.size machine ~level)))
+            in
+            let bound = Nd_mem.Pcc.q_star p ~m in
+            Table.add_row t
+              [
+                name;
+                Workload.mode_name mode;
+                Table.cell_int level;
+                Table.cell_int s.Nd_sched.Sb_sched.misses.(level - 1);
+                Table.cell_int bound;
+                Table.cell_float ~prec:3
+                  (float_of_int s.Nd_sched.Sb_sched.misses.(level - 1)
+                  /. float_of_int bound);
+              ]
+          done)
+        [ Workload.ND; Workload.NP ])
+    [ ("mm", 32); ("trs", 32); ("cholesky", 32); ("lcs", 128); ("fw1d", 128) ];
+  Table.print t;
+  t
+
+(* ------------------------------ E4 --------------------------------- *)
+
+let e4_scaling () =
+  let t =
+    Table.create
+      ~title:
+        "E4: SB time / perfect-balance bound (Eq. 22) vs processors, ND vs NP"
+      [ "algo"; "procs"; "perfect"; "time ND"; "time NP"; "ND/perf"; "NP/perf" ]
+  in
+  let sigma = 1. /. 3. in
+  List.iter
+    (fun (name, n) ->
+      let fam = Workloads.find name in
+      let w = Workloads.build ~n fam ~seed in
+      let pnd, pnp = compile_both w in
+      List.iter
+        (fun top ->
+          let machine = sim_machine ~top_caches:top in
+          let snd_ = Nd_sched.Sb_sched.run ~sigma pnd machine in
+          let snp = Nd_sched.Sb_sched.run ~sigma pnp machine in
+          let perfect =
+            (float_of_int snd_.Nd_sched.Sb_sched.work
+            /. float_of_int (Pmh.n_procs machine))
+            +. Pmh.perfect_time machine ~sigma
+                 ~q_star:(fun m -> Nd_mem.Pcc.q_star pnd ~m)
+          in
+          Table.add_row t
+            [
+              name;
+              Table.cell_int (Pmh.n_procs machine);
+              Table.cell_float ~prec:0 perfect;
+              Table.cell_int snd_.Nd_sched.Sb_sched.time;
+              Table.cell_int snp.Nd_sched.Sb_sched.time;
+              Table.cell_float ~prec:2
+                (float_of_int snd_.Nd_sched.Sb_sched.time /. perfect);
+              Table.cell_float ~prec:2
+                (float_of_int snp.Nd_sched.Sb_sched.time /. perfect);
+            ])
+        [ 1; 2; 4; 8 ])
+    [ ("mm", 32); ("trs", 64); ("cholesky", 64); ("lcs", 256) ];
+  Table.print t;
+  t
+
+(* ------------------------------ E5 --------------------------------- *)
+
+let e5_alpha () =
+  let t =
+    Table.create
+      ~title:"E5: empirical parallelizability alpha_max (Claims 2-3), c=2"
+      [ "algo"; "model"; "M=64"; "M=256"; "M=1024" ]
+  in
+  List.iter
+    (fun (name, n) ->
+      let fam = Workloads.find name in
+      let w = Workloads.build ~n fam ~seed in
+      List.iter
+        (fun mode ->
+          let p = Workload.compile ~mode w in
+          let cell m =
+            Table.cell_float ~prec:3 (Nd_mem.Ecc.parallelizability p ~m ~c:2.)
+          in
+          Table.add_row t
+            [ name; Workload.mode_name mode; cell 64; cell 256; cell 1024 ])
+        [ Workload.ND; Workload.NP ])
+    [ ("mm", 64); ("trs", 64); ("cholesky", 64); ("lcs", 256); ("fw1d", 256) ];
+  Table.print t;
+  t
+
+(* ------------------------------ E6 --------------------------------- *)
+
+let e6_work_stealing () =
+  let t =
+    Table.create
+      ~title:
+        "E6: SB (rho and LRU accounting) vs randomized work stealing (LRU)"
+      [
+        "algo"; "SB-rho time"; "SB-lru time"; "WS time"; "SB-rho misscost";
+        "SB-lru misscost"; "WS misscost"; "steals";
+      ]
+  in
+  let machine = sim_machine ~top_caches:1 in
+  List.iter
+    (fun (name, n) ->
+      let fam = Workloads.find name in
+      let w = Workloads.build ~n fam ~seed in
+      let p = Workload.compile w in
+      let sb = Nd_sched.Sb_sched.run p machine in
+      let sbl = Nd_sched.Sb_sched.run ~accounting:Nd_sched.Sb_sched.Lru p machine in
+      let ws = Nd_sched.Work_steal.run ~seed p machine in
+      Table.add_row t
+        [
+          name;
+          Table.cell_int sb.Nd_sched.Sb_sched.time;
+          Table.cell_int sbl.Nd_sched.Sb_sched.time;
+          Table.cell_int ws.Nd_sched.Work_steal.time;
+          Table.cell_int sb.Nd_sched.Sb_sched.miss_cost;
+          Table.cell_int sbl.Nd_sched.Sb_sched.miss_cost;
+          Table.cell_int ws.Nd_sched.Work_steal.miss_cost;
+          Table.cell_int ws.Nd_sched.Work_steal.steals;
+        ])
+    [ ("mm", 32); ("trs", 32); ("cholesky", 32); ("lcs", 128); ("fw1d", 128) ];
+  Table.print t;
+  t
+
+(* ------------------------------ E7 --------------------------------- *)
+
+let e7_ablation () =
+  let t =
+    Table.create
+      ~title:"E7: coarse (Fig. 12) vs fine cross-anchor readiness (ND)"
+      [ "algo"; "time coarse"; "time fine"; "fine/coarse"; "anchors" ]
+  in
+  let machine = sim_machine ~top_caches:2 in
+  List.iter
+    (fun (name, n) ->
+      let fam = Workloads.find name in
+      let w = Workloads.build ~n fam ~seed in
+      let p = Workload.compile w in
+      let c = Nd_sched.Sb_sched.run ~mode:Nd_sched.Sb_sched.Coarse p machine in
+      let f = Nd_sched.Sb_sched.run ~mode:Nd_sched.Sb_sched.Fine p machine in
+      Table.add_row t
+        [
+          name;
+          Table.cell_int c.Nd_sched.Sb_sched.time;
+          Table.cell_int f.Nd_sched.Sb_sched.time;
+          Table.cell_float ~prec:3
+            (float_of_int f.Nd_sched.Sb_sched.time
+            /. float_of_int c.Nd_sched.Sb_sched.time);
+          Table.cell_int c.Nd_sched.Sb_sched.n_anchors;
+        ])
+    [ ("mm", 32); ("trs", 64); ("cholesky", 64); ("lcs", 256); ("fw1d", 256) ];
+  Table.print t;
+  t
+
+(* ------------------------------ E8 --------------------------------- *)
+
+let e8_rules () =
+  let t =
+    Table.create
+      ~title:
+        "E8: determinacy races, paper-literal vs corrected rule sets (n=16)"
+      [ "algo"; "variant"; "races"; "exec err (random order)" ]
+  in
+  let check name w =
+    let algo, variant =
+      match String.index_opt name '/' with
+      | Some i ->
+        ( String.sub name 0 i,
+          String.sub name (i + 1) (String.length name - i - 1) )
+      | None -> (name, "corrected")
+    in
+    let p = Workload.compile w in
+    let races = Nd_dag.Race.find_races ~limit:64 (Nd.Program.dag p) in
+    w.Workload.reset ();
+    Nd.Serial_exec.run ~rng:(Nd_util.Prng.create 99) p;
+    Table.add_row t
+      [
+        algo;
+        variant;
+        Table.cell_int (List.length races);
+        Printf.sprintf "%.3g" (w.Workload.check ());
+      ]
+  in
+  let pairs =
+    [
+      ("mm/literal", Matmul.workload ~variant:Matmul.Literal ~n:16 ~base:2 ~seed ());
+      ("mm/safe", Matmul.workload ~variant:Matmul.Safe ~n:16 ~base:2 ~seed ());
+      ("trs/literal", Trs.workload ~variant:Trs.Literal ~n:16 ~base:2 ~seed ());
+      ("trs/corrected", Trs.workload ~variant:Trs.Corrected ~n:16 ~base:2 ~seed ());
+      ("lcs/literal", Lcs.workload ~variant:`Literal ~n:16 ~base:2 ~seed ());
+      ("lcs/corrected", Lcs.workload ~variant:`Corrected ~n:16 ~base:2 ~seed ());
+      ("fw1d/literal", Fw1d.workload ~variant:`Literal ~n:16 ~base:2 ~seed ());
+      ("fw1d/corrected", Fw1d.workload ~variant:`Corrected ~n:16 ~base:2 ~seed ());
+      ("cholesky", Cholesky.workload ~n:16 ~base:2 ~seed ());
+      ("apsp", Fw2d.workload ~n:16 ~base:2 ~seed ());
+      ("lu", Lu.workload ~n:16 ~base:2 ~seed ());
+    ]
+  in
+  List.iter (fun (name, w) -> check name w) pairs;
+  Table.print t;
+  t
+
+(* ------------------------------ E9 --------------------------------- *)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let e9_runtime () =
+  let workers = Nd_runtime.Executor.default_workers () in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E9: multicore wall-clock (workers=%d), serial vs ND dataflow vs NP fork-join"
+           workers)
+      [ "algo"; "n"; "serial s"; "ND s"; "NP s"; "speedup ND"; "max err" ]
+  in
+  List.iter
+    (fun (name, n, base) ->
+      let fam = Workloads.find name in
+      let w = fam.Workloads.build ~n ~base ~seed in
+      let p = Workload.compile w in
+      w.Workload.reset ();
+      let ts = time_it (fun () -> Nd.Serial_exec.run p) in
+      let e0 = w.Workload.check () in
+      w.Workload.reset ();
+      let tnd = time_it (fun () -> Nd_runtime.Executor.run_dataflow ~workers p) in
+      let e1 = w.Workload.check () in
+      w.Workload.reset ();
+      let tnp = time_it (fun () -> Nd_runtime.Executor.run_fork_join ~workers p) in
+      let e2 = w.Workload.check () in
+      Table.add_row t
+        [
+          name;
+          Table.cell_int n;
+          Table.cell_float ~prec:4 ts;
+          Table.cell_float ~prec:4 tnd;
+          Table.cell_float ~prec:4 tnp;
+          Table.cell_float ~prec:2 (ts /. tnd);
+          Printf.sprintf "%.3g" (Float.max e0 (Float.max e1 e2));
+        ])
+    [ ("mm", 128, 16); ("trs", 128, 16); ("cholesky", 128, 16); ("lcs", 512, 32) ];
+  Table.print t;
+  t
+
+(* ---------------------------- overview ----------------------------- *)
+
+let overview () =
+  let t =
+    Table.create ~title:"Overview: the algorithms at their default sizes"
+      [ "algo"; "n"; "leaves"; "vertices"; "edges"; "work"; "span ND"; "span NP" ]
+  in
+  List.iter
+    (fun fam ->
+      let w = Workloads.build fam ~seed in
+      let pnd, pnp = compile_both w in
+      let r = Nd.Analysis.analyze pnd in
+      Table.add_row t
+        [
+          fam.Workloads.name;
+          Table.cell_int w.Workload.n;
+          Table.cell_int r.Nd.Analysis.n_leaves;
+          Table.cell_int r.Nd.Analysis.n_vertices;
+          Table.cell_int r.Nd.Analysis.n_edges;
+          Table.cell_int r.Nd.Analysis.work;
+          Table.cell_int r.Nd.Analysis.span;
+          Table.cell_int (Nd.Analysis.analyze pnp).Nd.Analysis.span;
+        ])
+    Workloads.all;
+  Table.print t;
+  t
+
+let experiments =
+  [
+    ("overview", fun () -> ignore (overview ()));
+    ("e1", fun () -> ignore (e1_span ()));
+    ("e2", fun () -> ignore (e2_pcc ()));
+    ("e3", fun () -> ignore (e3_misses ()));
+    ("e4", fun () -> ignore (e4_scaling ()));
+    ("e5", fun () -> ignore (e5_alpha ()));
+    ("e6", fun () -> ignore (e6_work_stealing ()));
+    ("e7", fun () -> ignore (e7_ablation ()));
+    ("e8", fun () -> ignore (e8_rules ()));
+    ("e9", fun () -> ignore (e9_runtime ()));
+  ]
+
+let run name = (List.assoc name experiments) ()
+
+let run_all () = List.iter (fun (_, f) -> f ()) experiments

@@ -1,0 +1,51 @@
+(** The experiment suite: one entry per table/figure/claim of the paper
+    (the experiment index lives in DESIGN.md; measured-vs-paper results
+    are recorded in EXPERIMENTS.md).
+
+    - E1 — span table (Section 3 theorems; Figures 1, 8): measured NP vs
+      ND spans over a size sweep with fitted growth exponents.
+    - E2 — parallel cache complexity (Claim 1): Q* sweeps vs the claimed
+      Θ(N^1.5/M^0.5) (dense) and Θ(n²/M) (LCS/FW1D) shapes, with the
+      serial ideal-cache Q1 as a cross-check.
+    - E3 — Theorem 1: per-level SB-simulated misses against the
+      Q*(t; σM_j) bound.
+    - E4 — Theorem 3 / Eq. 22: SB running time over a processor sweep
+      against the perfect-balance bound, ND vs NP (the headline result).
+    - E5 — Claims 2-3: empirical parallelizability α_max, ND vs NP.
+    - E6 — SB vs randomized work stealing ([47, 48] context).
+    - E7 — ablation: coarse (Figure 12) vs fine cross-anchor readiness.
+    - E8 — rule-set validation: determinacy races of the paper's literal
+      rule sets vs the corrected ones (DESIGN.md corrections).
+    - E9 — real multicore wall-clock: serial vs ND dataflow vs NP
+      fork-join executors.
+
+    Each function prints its table to stdout and returns it. *)
+
+val e1_span : unit -> Nd_util.Table.t
+
+val e2_pcc : unit -> Nd_util.Table.t
+
+val e3_misses : unit -> Nd_util.Table.t
+
+val e4_scaling : unit -> Nd_util.Table.t
+
+val e5_alpha : unit -> Nd_util.Table.t
+
+val e6_work_stealing : unit -> Nd_util.Table.t
+
+val e7_ablation : unit -> Nd_util.Table.t
+
+val e8_rules : unit -> Nd_util.Table.t
+
+val e9_runtime : unit -> Nd_util.Table.t
+
+(** [overview ()] — per-algorithm inventory (work, spans, DAG sizes) at
+    the default sizes. *)
+val overview : unit -> Nd_util.Table.t
+
+(** [run_all ()] — every experiment in order (the full harness). *)
+val run_all : unit -> unit
+
+(** [run name] — run one of ["overview"; "e1"..."e9"].
+    @raise Not_found on an unknown name. *)
+val run : string -> unit

@@ -1,0 +1,90 @@
+open Nd_algos
+
+type family = {
+  name : string;
+  base : int;
+  sizes : int list;
+  build : n:int -> base:int -> seed:int -> Workload.t;
+}
+
+let cubic_sizes = [ 8; 16; 32; 64 ]
+
+let quad_sizes = [ 32; 64; 128; 256 ]
+
+let all =
+  [
+    {
+      name = "mm";
+      base = 2;
+      sizes = cubic_sizes;
+      build = (fun ~n ~base ~seed -> Matmul.workload ~n ~base ~seed ());
+    };
+    {
+      name = "mm8";
+      base = 2;
+      sizes = cubic_sizes;
+      build = (fun ~n ~base ~seed -> Matmul.workload8 ~n ~base ~seed ());
+    };
+    {
+      name = "trs";
+      base = 2;
+      sizes = cubic_sizes;
+      build = (fun ~n ~base ~seed -> Trs.workload ~n ~base ~seed ());
+    };
+    {
+      name = "cholesky";
+      base = 2;
+      sizes = cubic_sizes;
+      build = (fun ~n ~base ~seed -> Cholesky.workload ~n ~base ~seed ());
+    };
+    {
+      name = "lu";
+      base = 2;
+      sizes = cubic_sizes;
+      build = (fun ~n ~base ~seed -> Lu.workload ~n ~base ~seed ());
+    };
+    {
+      name = "apsp";
+      base = 2;
+      sizes = [ 8; 16; 32 ];
+      build = (fun ~n ~base ~seed -> Fw2d.workload ~n ~base ~seed ());
+    };
+    {
+      name = "fw1d";
+      base = 2;
+      sizes = quad_sizes;
+      build = (fun ~n ~base ~seed -> Fw1d.workload ~n ~base ~seed ());
+    };
+    {
+      name = "stencil";
+      base = 4;
+      sizes = quad_sizes;
+      build = (fun ~n ~base ~seed -> Stencil.workload ~n ~base ~seed ());
+    };
+    {
+      name = "gotoh";
+      base = 2;
+      sizes = quad_sizes;
+      build = (fun ~n ~base ~seed -> Gotoh.workload ~n ~base ~seed ());
+    };
+    {
+      name = "lcs";
+      base = 2;
+      sizes = quad_sizes;
+      build = (fun ~n ~base ~seed -> Lcs.workload ~n ~base ~seed ());
+    };
+  ]
+
+let find name = List.find (fun f -> f.name = name) all
+
+let names () = List.map (fun f -> f.name) all
+
+let rec last = function
+  | [] -> invalid_arg "Workloads.build: no sizes"
+  | [ x ] -> x
+  | _ :: rest -> last rest
+
+let build ?n ?base family ~seed =
+  let n = match n with Some n -> n | None -> last family.sizes in
+  let base = match base with Some b -> b | None -> family.base in
+  family.build ~n ~base ~seed

@@ -1,0 +1,25 @@
+(** Named workload builders shared by the experiment suite, the CLI and
+    the benchmarks. *)
+
+(** A family: name, default base-case size, problem sizes used in sweeps
+    (quadratic-work algorithms get larger sizes than cubic ones), and the
+    builder. *)
+type family = {
+  name : string;
+  base : int;
+  sizes : int list;
+  build : n:int -> base:int -> seed:int -> Nd_algos.Workload.t;
+}
+
+(** All seven algorithm families of Section 3 (mm, trs, cholesky, lu,
+    apsp, fw1d, lcs) plus the 8-way NP matmul (mm8). *)
+val all : family list
+
+(** [find name] — @raise Not_found if unknown. *)
+val find : string -> family
+
+val names : unit -> string list
+
+(** [build ?n ?base family ~seed] with defaults from the family (largest
+    default size). *)
+val build : ?n:int -> ?base:int -> family -> seed:int -> Nd_algos.Workload.t

@@ -1,0 +1,1 @@
+lib/mem/cache_sim.ml: Hashtbl List Nd Nd_util Program Spawn_tree Strand

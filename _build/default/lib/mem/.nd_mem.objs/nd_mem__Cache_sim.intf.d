@@ -1,0 +1,1 @@
+lib/mem/cache_sim.mli: Nd Nd_util

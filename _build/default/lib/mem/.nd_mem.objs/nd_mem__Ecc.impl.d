@@ -1,0 +1,1 @@
+lib/mem/ecc.ml: Array Float List Nd Nd_dag Nd_util Pcc Program

@@ -1,0 +1,1 @@
+lib/mem/ecc.mli: Nd

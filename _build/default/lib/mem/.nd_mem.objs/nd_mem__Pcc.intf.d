@@ -1,0 +1,1 @@
+lib/mem/pcc.mli: Nd

@@ -1,0 +1,99 @@
+module Is = Nd_util.Interval_set
+open Nd
+
+(* Fully associative LRU over unit lines: an intrusive doubly-linked
+   list threaded through a hashtable.  Cells are recycled on eviction. *)
+
+type cell = {
+  addr : int;
+  mutable prev : cell option;
+  mutable next : cell option;
+}
+
+type t = {
+  capacity : int;
+  table : (int, cell) Hashtbl.t;
+  mutable head : cell option;  (* most recent *)
+  mutable tail : cell option;  (* least recent *)
+  mutable occupancy : int;
+  mutable misses : int;
+  mutable accesses : int;
+}
+
+let create ~m =
+  if m < 1 then invalid_arg "Cache_sim.create: m < 1";
+  {
+    capacity = m;
+    table = Hashtbl.create (2 * m);
+    head = None;
+    tail = None;
+    occupancy = 0;
+    misses = 0;
+    accesses = 0;
+  }
+
+let unlink t cell =
+  (match cell.prev with
+  | Some p -> p.next <- cell.next
+  | None -> t.head <- cell.next);
+  (match cell.next with
+  | Some n -> n.prev <- cell.prev
+  | None -> t.tail <- cell.prev);
+  cell.prev <- None;
+  cell.next <- None
+
+let push_front t cell =
+  cell.next <- t.head;
+  cell.prev <- None;
+  (match t.head with Some h -> h.prev <- Some cell | None -> t.tail <- Some cell);
+  t.head <- Some cell
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  match Hashtbl.find_opt t.table addr with
+  | Some cell ->
+    unlink t cell;
+    push_front t cell;
+    false
+  | None ->
+    t.misses <- t.misses + 1;
+    if t.occupancy >= t.capacity then begin
+      match t.tail with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.addr;
+        t.occupancy <- t.occupancy - 1
+      | None -> assert false
+    end;
+    let cell = { addr; prev = None; next = None } in
+    Hashtbl.replace t.table addr cell;
+    push_front t cell;
+    t.occupancy <- t.occupancy + 1;
+    true
+
+let access_set t fp =
+  let m = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      for a = lo to hi - 1 do
+        if access t a then incr m
+      done)
+    (Is.intervals fp);
+  !m
+
+let misses t = t.misses
+
+let accesses t = t.accesses
+
+let q1 program ~m =
+  let cache = create ~m in
+  let rec go tree =
+    match tree with
+    | Spawn_tree.Leaf s -> ignore (access_set cache (Strand.footprint s))
+    | Spawn_tree.Seq l | Spawn_tree.Par l -> List.iter go l
+    | Spawn_tree.Fire { src; snk; _ } ->
+      go src;
+      go snk
+  in
+  go (Program.tree program);
+  misses cache

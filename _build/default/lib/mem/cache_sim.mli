@@ -1,0 +1,29 @@
+(** Serial ideal-cache simulator: a fully associative LRU cache of [m]
+    words (unit cache lines, matching the paper's B = 1 simplification).
+
+    Used to measure Q_1 — the cache complexity of the depth-first
+    traversal in the ideal cache model [Frigo et al.] — as a cross-check
+    on the PCC metric: for the paper's algorithms the two agree within
+    constant factors (the data reuse across M-maximal subtasks that Q*
+    ignores is a lower-order term; Section 4). *)
+
+type t
+
+(** [create ~m] — an empty LRU cache of capacity [m] words.
+    @raise Invalid_argument if [m < 1]. *)
+val create : m:int -> t
+
+(** [access t addr] touches one word; returns [true] on a miss. *)
+val access : t -> int -> bool
+
+(** [access_set t fp] touches every word of a footprint (in address
+    order) and returns the number of misses. *)
+val access_set : t -> Nd_util.Interval_set.t -> int
+
+val misses : t -> int
+
+val accesses : t -> int
+
+(** [q1 program ~m] — misses of the depth-first (serial-elision)
+    traversal of the program: every strand touches its footprint once. *)
+val q1 : Nd.Program.t -> m:int -> int

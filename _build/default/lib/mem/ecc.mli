@@ -1,0 +1,39 @@
+(** Effective Cache Complexity (ECC) — the paper's Q̂_α metric
+    (Definition 2) — and the parallelizability α_max derived from it.
+
+    Unroll the spawn tree until every leaf is an M-maximal task; regard
+    every dataflow arrow between maximal tasks as a dependence.  The
+    effective depth of a maximal task t' is [ceil(Q*(t')/s(t')^α)]
+    (= ceil(s(t')^(1-α)) since a maximal task is one tree).  The ECC of
+    the whole task t is [s(t)^α] times the max of
+
+    - the {e depth-dominated} term: the maximum over dependence chains of
+      maximal tasks of the sum of their effective depths, and
+    - the {e work-dominated} term: [ceil(Q*(t; M) / s(t)^α)].
+
+    Because fire arrows shorten the chains, the ND variants of the
+    paper's algorithms stay work-dominated up to a larger α than their
+    NP projections — that α_max is the algorithm's parallelizability
+    (Claims 2 and 3). *)
+
+type report = {
+  m : int;
+  alpha : float;
+  q_star : int;
+  q_hat : float;
+  depth_term : float;  (** depth-dominated candidate for ⌈Q̂/s^α⌉ *)
+  work_term : float;  (** work-dominated candidate *)
+  effective_depth : float;  (** the max of the two *)
+}
+
+(** [analyze program ~m ~alpha] computes the ECC report.
+    @raise Invalid_argument if [m < 1] or [alpha < 0]. *)
+val analyze : Nd.Program.t -> m:int -> alpha:float -> report
+
+(** [q_hat program ~m ~alpha] — just the Q̂_α value. *)
+val q_hat : Nd.Program.t -> m:int -> alpha:float -> float
+
+(** [parallelizability program ~m ~c] — the largest [alpha] in [0, 1.5]
+    (to resolution 1/256) such that [Q̂_α <= c * Q*] — the empirical
+    α_max with slack constant [c] (the paper's c_U). *)
+val parallelizability : Nd.Program.t -> m:int -> c:float -> float

@@ -1,0 +1,1 @@
+lib/pmh/pmh.ml: Array Float Printf String

@@ -1,0 +1,1 @@
+lib/pmh/pmh.mli:

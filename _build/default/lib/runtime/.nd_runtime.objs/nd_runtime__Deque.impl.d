@@ -1,0 +1,1 @@
+lib/runtime/deque.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Atomic Deque Domain List Nd Nd_dag Program Spawn_tree Strand

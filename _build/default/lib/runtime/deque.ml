@@ -1,0 +1,74 @@
+(* Chase & Lev, "Dynamic circular work-stealing deque" (SPAA 2005),
+   adapted to OCaml 5 atomics (which are sequentially consistent, so the
+   fence subtleties of the original are not needed). *)
+
+type 'a buffer = { mask : int; data : 'a option array }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let make_buffer cap = { mask = cap - 1; data = Array.make cap None }
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (make_buffer 16);
+  }
+
+let buf_get b i = b.data.(i land b.mask)
+
+let buf_set b i x = b.data.(i land b.mask) <- x
+
+(* owner only *)
+let grow t b top bottom =
+  let nb = make_buffer (2 * (b.mask + 1)) in
+  for i = top to bottom - 1 do
+    buf_set nb i (buf_get b i)
+  done;
+  Atomic.set t.buf nb;
+  nb
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf = if b - tp > buf.mask then grow t buf tp b else buf in
+  buf_set buf b (Some x);
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* empty: restore *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf_get buf b in
+    if b > tp then x
+    else begin
+      (* last element: race with thieves *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then x else None
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf_get buf tp in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+  end
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)

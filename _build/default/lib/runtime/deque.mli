@@ -1,0 +1,25 @@
+(** Chase–Lev work-stealing deque on OCaml 5 atomics.
+
+    Single-owner: only the owner calls {!push} and {!pop} (bottom end);
+    any domain may call {!steal} (top end).  Lock-free; the only
+    synchronized contention is the owner/thief race on the last element,
+    resolved with a compare-and-set on [top].  The buffer grows
+    geometrically and never shrinks. *)
+
+type 'a t
+
+(** [create ()] — an empty deque (initial capacity 16). *)
+val create : unit -> 'a t
+
+(** [push t x] — owner only: push on the bottom. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop t] — owner only: pop from the bottom (LIFO). *)
+val pop : 'a t -> 'a option
+
+(** [steal t] — any domain: take from the top (FIFO); [None] when the
+    deque looks empty or the race was lost. *)
+val steal : 'a t -> 'a option
+
+(** [size t] — instantaneous size (approximate under concurrency). *)
+val size : 'a t -> int

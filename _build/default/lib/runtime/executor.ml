@@ -1,0 +1,143 @@
+module Dag = Nd_dag.Dag
+open Nd
+
+let default_workers () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* ------------------------- dataflow executor ----------------------- *)
+
+let act program v =
+  let n = Program.vertex_owner program v in
+  if n >= 0 then
+    match Program.kind_of program n with
+    | Program.Leaf s -> ( match s.Strand.action with Some f -> f () | None -> ())
+    | Program.Seq | Program.Par | Program.Fire _ -> ()
+
+let run_dataflow ?workers program =
+  let nw = match workers with Some w -> max 1 w | None -> default_workers () in
+  let dag = Program.dag program in
+  let nv = Dag.n_vertices dag in
+  let indeg = Array.init nv (fun v -> Atomic.make (List.length (Dag.preds dag v))) in
+  let remaining = Atomic.make nv in
+  let deques = Array.init nw (fun _ -> Deque.create ()) in
+  (* distribute the sources round-robin *)
+  let seed_slot = ref 0 in
+  for v = 0 to nv - 1 do
+    if Atomic.get indeg.(v) = 0 then begin
+      Deque.push deques.(!seed_slot mod nw) v;
+      incr seed_slot
+    end
+  done;
+  let exec wid v =
+    act program v;
+    Atomic.decr remaining;
+    List.iter
+      (fun s ->
+        if Atomic.fetch_and_add indeg.(s) (-1) = 1 then Deque.push deques.(wid) s)
+      (Dag.succs dag v)
+  in
+  let worker wid () =
+    let spin = ref 0 in
+    while Atomic.get remaining > 0 do
+      match Deque.pop deques.(wid) with
+      | Some v ->
+        spin := 0;
+        exec wid v
+      | None ->
+        let stolen = ref false in
+        let i = ref 1 in
+        while (not !stolen) && !i < nw do
+          (match Deque.steal deques.((wid + !i) mod nw) with
+          | Some v ->
+            stolen := true;
+            spin := 0;
+            exec wid v
+          | None -> ());
+          incr i
+        done;
+        if not !stolen then begin
+          incr spin;
+          if !spin > 64 then Domain.cpu_relax ()
+        end
+    done
+  in
+  let domains = List.init (nw - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join domains;
+  assert (Atomic.get remaining = 0)
+
+(* ------------------------- fork-join executor ---------------------- *)
+
+type job = { work : int -> unit; completed : bool Atomic.t }
+
+type ctx = {
+  deques : job Deque.t array;
+  nw : int;
+  finished : bool Atomic.t;
+}
+
+let help ctx wid =
+  match Deque.pop ctx.deques.(wid) with
+  | Some j ->
+    j.work wid;
+    Atomic.set j.completed true;
+    true
+  | None ->
+    let rec try_steal i =
+      if i >= ctx.nw then false
+      else
+        match Deque.steal ctx.deques.((wid + i) mod ctx.nw) with
+        | Some j ->
+          j.work wid;
+          Atomic.set j.completed true;
+          true
+        | None -> try_steal (i + 1)
+    in
+    try_steal 1
+
+let rec exec_tree ctx wid tree =
+  match tree with
+  | Spawn_tree.Leaf s -> ( match s.Strand.action with Some f -> f () | None -> ())
+  | Spawn_tree.Seq l -> List.iter (exec_tree ctx wid) l
+  | Spawn_tree.Fire { src; snk; _ } ->
+    (* NP projection: serial composition *)
+    exec_tree ctx wid src;
+    exec_tree ctx wid snk
+  | Spawn_tree.Par [] -> ()
+  | Spawn_tree.Par (first :: rest) ->
+    let jobs =
+      List.map
+        (fun t ->
+          let j =
+            { work = (fun w -> exec_tree ctx w t); completed = Atomic.make false }
+          in
+          Deque.push ctx.deques.(wid) j;
+          j)
+        rest
+    in
+    exec_tree ctx wid first;
+    List.iter
+      (fun j ->
+        (* help-first join: run other work while waiting *)
+        while not (Atomic.get j.completed) do
+          if not (help ctx wid) then Domain.cpu_relax ()
+        done)
+      jobs
+
+let run_fork_join ?workers program =
+  let nw = match workers with Some w -> max 1 w | None -> default_workers () in
+  let ctx =
+    {
+      deques = Array.init nw (fun _ -> Deque.create ());
+      nw;
+      finished = Atomic.make false;
+    }
+  in
+  let helper wid () =
+    while not (Atomic.get ctx.finished) do
+      if not (help ctx wid) then Domain.cpu_relax ()
+    done
+  in
+  let domains = List.init (nw - 1) (fun i -> Domain.spawn (helper (i + 1))) in
+  exec_tree ctx 0 (Program.tree program);
+  Atomic.set ctx.finished true;
+  List.iter Domain.join domains

@@ -1,0 +1,31 @@
+(** Multicore executors for compiled ND programs, on OCaml 5 domains.
+
+    {!run_dataflow} is the ND runtime: the algorithm DAG's dependency
+    counters drive execution directly — a worker that completes a strand
+    decrements its successors and pushes the newly enabled ones onto its
+    own Chase–Lev deque, stealing when empty.  Fire-construct parallelism
+    is therefore exploited exactly as the DRS exposes it.
+
+    {!run_fork_join} is the NP runtime: a classic fork–join traversal of
+    the spawn tree (fires treated as serial compositions), with
+    help-first joins.  Comparing the two on the same workload is
+    experiment E9.
+
+    Correctness requires the program's DAG to be determinacy-race free
+    (verified by {!Nd_dag.Race} in the test suite); then every execution
+    computes the same result as {!Nd.Serial_exec.run}. *)
+
+(** [run_dataflow ?workers program] executes all strand actions in
+    dependency order on [workers] domains (default:
+    [Domain.recommended_domain_count], capped at 8). *)
+val run_dataflow : ?workers:int -> Nd.Program.t -> unit
+
+(** [run_fork_join ?workers program] executes the NP projection of the
+    spawn tree with nested fork–join parallelism.  The fire constructs
+    are treated as serial compositions, so this is exactly the paper's
+    NP baseline executed for real. *)
+val run_fork_join : ?workers:int -> Nd.Program.t -> unit
+
+(** [default_workers ()] — the worker count used when [?workers] is
+    omitted. *)
+val default_workers : unit -> int

@@ -1,0 +1,1 @@
+lib/sched/greedy.ml: Array List Nd Nd_dag Nd_util Program Queue

@@ -1,0 +1,1 @@
+lib/sched/greedy.mli: Nd

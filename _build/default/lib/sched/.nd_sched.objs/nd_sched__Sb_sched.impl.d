@@ -1,0 +1,1 @@
+lib/sched/sb_sched.ml: Array Float Format Hashtbl Lazy List Nd Nd_dag Nd_mem Nd_pmh Nd_util Printf Program Queue Strand String

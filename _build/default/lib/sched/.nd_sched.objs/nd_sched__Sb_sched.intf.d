@@ -1,0 +1,1 @@
+lib/sched/sb_sched.mli: Format Nd Nd_pmh

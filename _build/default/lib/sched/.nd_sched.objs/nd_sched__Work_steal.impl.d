@@ -1,0 +1,1 @@
+lib/sched/work_steal.ml: Array Format List Nd Nd_dag Nd_mem Nd_pmh Nd_util Program String

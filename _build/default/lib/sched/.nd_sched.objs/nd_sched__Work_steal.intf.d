@@ -1,0 +1,1 @@
+lib/sched/work_steal.mli: Format Nd Nd_pmh

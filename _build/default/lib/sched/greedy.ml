@@ -1,0 +1,50 @@
+module Dag = Nd_dag.Dag
+module Heap = Nd_util.Heap
+open Nd
+
+type stats = { time : int; work : int; span : int; n_procs : int }
+
+let brent_bound s =
+  ((s.work + s.n_procs - 1) / s.n_procs) + s.span
+
+let run ~procs program =
+  if procs < 1 then invalid_arg "Greedy.run: procs < 1";
+  let dag = Program.dag program in
+  let nv = Dag.n_vertices dag in
+  let indeg = Array.make nv 0 in
+  for v = 0 to nv - 1 do
+    indeg.(v) <- List.length (Dag.preds dag v)
+  done;
+  let ready = Queue.create () in
+  for v = 0 to nv - 1 do
+    if indeg.(v) = 0 then Queue.push v ready
+  done;
+  let events : int Heap.t = Heap.create () in
+  (* payload: vertex finishing at that time *)
+  let free_procs = ref procs in
+  let now = ref 0 in
+  let makespan = ref 0 in
+  let executed = ref 0 in
+  let dispatch () =
+    while !free_procs > 0 && not (Queue.is_empty ready) do
+      let v = Queue.pop ready in
+      decr free_procs;
+      Heap.push events (!now + Dag.work_of dag v) v
+    done
+  in
+  dispatch ();
+  while not (Heap.is_empty events) do
+    let t, v = Heap.pop events in
+    now := t;
+    if t > !makespan then makespan := t;
+    incr free_procs;
+    incr executed;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.push w ready)
+      (Dag.succs dag v);
+    dispatch ()
+  done;
+  if !executed < nv then failwith "Greedy.run: stalled (cyclic DAG?)";
+  { time = !makespan; work = Dag.work dag; span = Dag.span dag; n_procs = procs }

@@ -1,0 +1,11 @@
+(** Greedy (Brent-style) list scheduler: p processors, a global ready
+    pool, no locality model.  Provides the classic [T_p <= W/p + T_inf]
+    sanity bound the tests verify, and a cache-blind lower envelope for
+    the scheduling experiments. *)
+
+type stats = { time : int; work : int; span : int; n_procs : int }
+
+val run : procs:int -> Nd.Program.t -> stats
+
+(** [brent_bound s] = W/p + T_inf (ceiling division). *)
+val brent_bound : stats -> int

@@ -1,0 +1,540 @@
+module Dag = Nd_dag.Dag
+module Is = Nd_util.Interval_set
+module Heap = Nd_util.Heap
+module Pmh = Nd_pmh.Pmh
+open Nd
+
+type mode = Coarse | Fine
+
+type accounting = Rho | Lru
+
+type stats = {
+  time : int;
+  work : int;
+  misses : int array;
+  miss_cost : int;
+  busy : int;
+  n_anchors : int;
+  n_procs : int;
+}
+
+exception Deadlock of string
+
+type task_state = Waiting | Queued | Active | Done_state
+
+type anchor = {
+  a_level : int;  (* cache level; n_levels+1 for the memory root *)
+  a_task : int;  (* task index in its level's decomposition; -1 = root *)
+  a_cache : int;
+  mutable a_subclusters : int list;
+  a_queue : int Queue.t;  (* ready children: task indices at a_level-1 *)
+}
+
+let utilization s =
+  if s.time = 0 || s.n_procs = 0 then 1.
+  else float_of_int s.busy /. (float_of_int s.time *. float_of_int s.n_procs)
+
+let pp_stats ppf s =
+  Format.fprintf ppf "time=%d work=%d miss_cost=%d util=%.3f anchors=%d misses=[%s]"
+    s.time s.work s.miss_cost (utilization s) s.n_anchors
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.misses)))
+
+let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
+    ?(alloc_alpha = 1.) program machine =
+  let dag = Program.dag program in
+  let h = Pmh.n_levels machine in
+  let n_procs = Pmh.n_procs machine in
+  let m_of = Array.init h (fun i ->
+      max 1 (int_of_float (sigma *. float_of_int (Pmh.size machine ~level:(i + 1)))))
+  in
+  let decomp = Array.init h (fun i -> Program.decompose program ~m:m_of.(i)) in
+  let n_tasks = Array.map (fun d -> Array.length d.Program.tasks) decomp in
+  let task_node j ti = decomp.(j - 1).Program.tasks.(ti) in
+  let task_size j ti = Program.size program (task_node j ti) in
+  let tov j v = decomp.(j - 1).Program.task_of_vertex.(v) in
+  let ton j n = decomp.(j - 1).Program.task_of_node.(n) in
+  let nv = Dag.n_vertices dag in
+
+  (* ---- level-1 fine event graph: tasks + glue vertices ---- *)
+  let n1 = n_tasks.(0) in
+  let glue1_id = Array.make nv (-1) in
+  let n_glue1 = ref 0 in
+  for v = 0 to nv - 1 do
+    if tov 1 v < 0 then begin
+      glue1_id.(v) <- n1 + !n_glue1;
+      incr n_glue1
+    end
+  done;
+  let fine_n = n1 + !n_glue1 in
+  let fine_id v = let t = tov 1 v in if t >= 0 then t else glue1_id.(v) in
+  let glue_pred = Array.make fine_n 0 in
+  let glue_succs = Array.make fine_n [] in
+  let fine_edge_seen = Hashtbl.create (4 * nv) in
+  for u = 0 to nv - 1 do
+    let fu = fine_id u in
+    List.iter
+      (fun v ->
+        let fv = fine_id v in
+        if fu <> fv && fv >= n1 && not (Hashtbl.mem fine_edge_seen (fu, fv))
+        then begin
+          Hashtbl.add fine_edge_seen (fu, fv) ();
+          glue_pred.(fv) <- glue_pred.(fv) + 1;
+          glue_succs.(fu) <- fv :: glue_succs.(fu)
+        end)
+      (Dag.succs dag u)
+  done;
+
+  (* ---- parents, children, atom counts ---- *)
+  (* parent task (at level j+1) of a level-j task; for j = h the parent is
+     the root *)
+  let parent_task =
+    Array.init h (fun i ->
+        let j = i + 1 in
+        if j = h then Array.make n_tasks.(i) (-1)
+        else Array.map (fun node -> ton (j + 1) node) decomp.(i).Program.tasks)
+  in
+  (* children.(j-1).(ti) = level-(j-1) tasks whose parent is (j, ti); only
+     meaningful for j >= 2 *)
+  let children = Array.init (h + 1) (fun i ->
+      if i < 2 then [||]
+      else Array.make n_tasks.(i - 2) [])
+  in
+  for j = 1 to h - 1 do
+    for ti = n_tasks.(j - 1) - 1 downto 0 do
+      let p = parent_task.(j - 1).(ti) in
+      children.(j + 1).(p) <- ti :: children.(j + 1).(p)
+    done
+  done;
+  (* atoms (level-1 tasks) per level-j task *)
+  let atoms_in =
+    Array.init (h + 1) (fun j -> if j < 2 then [||] else Array.make n_tasks.(j - 1) 0)
+  in
+  (* atom -> containing task at each level *)
+  let atom_parent =
+    Array.init (h + 1) (fun _ -> Array.make n1 (-1))
+  in
+  for a = 0 to n1 - 1 do
+    let node = task_node 1 a in
+    for j = 2 to h do
+      let tj = ton j node in
+      atom_parent.(j).(a) <- tj;
+      atoms_in.(j).(tj) <- atoms_in.(j).(tj) + 1
+    done
+  done;
+
+  (* ---- dependency sets ---- *)
+  (* events: Fine f (level-1 node fired) encoded as (0, f);
+     Task (j, ti) completion encoded as (j, ti) with j >= 2 *)
+  let dep_count = Array.init h (fun i -> Array.make n_tasks.(i) 0) in
+  let state = Array.init h (fun i -> Array.make n_tasks.(i) Waiting) in
+  let fine_subs = Array.make fine_n [] in
+  let task_subs = Hashtbl.create 1024 in
+  let dep_seen = Hashtbl.create (8 * nv) in
+  let add_dep j tv ev =
+    let key = (j, tv, ev) in
+    if not (Hashtbl.mem dep_seen key) then begin
+      Hashtbl.add dep_seen key ();
+      dep_count.(j - 1).(tv) <- dep_count.(j - 1).(tv) + 1;
+      match ev with
+      | 0, f -> fine_subs.(f) <- (j, tv) :: fine_subs.(f)
+      | jj, ti ->
+        let cur = try Hashtbl.find task_subs (jj, ti) with Not_found -> [] in
+        Hashtbl.replace task_subs (jj, ti) ((j, tv) :: cur)
+    end
+  in
+  for u = 0 to nv - 1 do
+    List.iter
+      (fun v ->
+        for j = 1 to h do
+          let tv = tov j v in
+          if tv >= 0 then begin
+            let tu = tov j u in
+            if tu <> tv then begin
+              let ev =
+                if mode = Coarse && j < h then begin
+                  let pu = tov (j + 1) u and pv = tov (j + 1) v in
+                  if pu >= 0 && pv >= 0 && pu <> pv then (j + 1, pu)
+                  else (0, fine_id u)
+                end
+                else (0, fine_id u)
+              in
+              add_dep j tv ev
+            end
+          end
+        done)
+      (Dag.succs dag u)
+  done;
+
+  (* ---- machine state ---- *)
+  (* free anchoring space per cache (levels 1..h); level-1 space is not
+     tracked (atoms run whole on one processor) *)
+  let free_space =
+    Array.init h (fun i ->
+        Array.make (Pmh.n_caches machine ~level:(i + 1)) m_of.(i))
+  in
+  (* owner anchor of each cache, when allocated as a subcluster *)
+  let owner : anchor option array array =
+    Array.init h (fun i ->
+        Array.make (Pmh.n_caches machine ~level:(i + 1)) None)
+  in
+  let root =
+    {
+      a_level = h + 1;
+      a_task = -1;
+      a_cache = 0;
+      a_subclusters = List.init (Pmh.n_caches machine ~level:h) (fun c -> c);
+      a_queue = Queue.create ();
+    }
+  in
+  List.iter (fun c -> owner.(h - 1).(c) <- Some root) root.a_subclusters;
+  let anchor_at =
+    Array.init (h + 1) (fun j -> if j < 2 then [||]
+                         else Array.make n_tasks.(j - 2) None)
+  in
+  let n_anchors = ref 0 in
+
+  (* ---- miss accounting ---- *)
+  let visited : (int * int, Is.t ref) Hashtbl.t = Hashtbl.create 1024 in
+  let misses = Array.make h 0 in
+  let total_miss_cost = ref 0 in
+  (* inclusive per-cache LRU, used in Lru accounting mode only *)
+  let lru_caches =
+    lazy
+      (Array.init h (fun i ->
+           Array.init
+             (Pmh.n_caches machine ~level:(i + 1))
+             (fun _ -> Nd_mem.Cache_sim.create ~m:(Pmh.size machine ~level:(i + 1)))))
+  in
+  let atom_cost_lru proc a =
+    let caches = Lazy.force lru_caches in
+    let node = task_node 1 a in
+    let lo, hi = Program.leaf_range program node in
+    let cost = ref 0 in
+    for i = lo to hi - 1 do
+      match Program.kind_of program (Program.leaf_node program i) with
+      | Program.Leaf s ->
+        cost := !cost + s.Strand.work;
+        List.iter
+          (fun (wlo, whi) ->
+            for w = wlo to whi - 1 do
+              for j = 1 to h do
+                let c = Pmh.cache_of_proc machine ~proc ~level:j in
+                if Nd_mem.Cache_sim.access caches.(j - 1).(c) w then begin
+                  misses.(j - 1) <- misses.(j - 1) + 1;
+                  let mc = Pmh.miss_cost machine ~level:j in
+                  cost := !cost + mc;
+                  total_miss_cost := !total_miss_cost + mc
+                end
+              done
+            done)
+          (Is.intervals (Strand.footprint s))
+      | Program.Seq | Program.Par | Program.Fire _ -> assert false
+    done;
+    !cost
+  in
+  let atom_cost a =
+    (* serial execution cost of a level-1 task: work + per-level
+       first-touch miss costs *)
+    let node = task_node 1 a in
+    let lo, hi = Program.leaf_range program node in
+    let cost = ref 0 in
+    for i = lo to hi - 1 do
+      let ln = Program.leaf_node program i in
+      (match Program.kind_of program ln with
+      | Program.Leaf s ->
+        cost := !cost + s.Strand.work;
+        let fp = Strand.footprint s in
+        for j = 1 to h do
+          let tj = if j = 1 then a else atom_parent.(j).(a) in
+          let key = (j, tj) in
+          let set =
+            match Hashtbl.find_opt visited key with
+            | Some r -> r
+            | None ->
+              let r = ref Is.empty in
+              Hashtbl.add visited key r;
+              r
+          in
+          let fresh = Is.absorb set fp in
+          if fresh > 0 then begin
+            misses.(j - 1) <- misses.(j - 1) + fresh;
+            let c = fresh * Pmh.miss_cost machine ~level:j in
+            total_miss_cost := !total_miss_cost + c;
+            cost := !cost + c
+          end
+        done
+      | Program.Seq | Program.Par | Program.Fire _ -> assert false)
+    done;
+    !cost
+  in
+
+  (* ---- event machinery ---- *)
+  let events : int Heap.t = Heap.create () in
+  (* payload = processor id *)
+  let idle = Array.make n_procs false in
+  let now = ref 0 in
+  let wake_all () =
+    for p = 0 to n_procs - 1 do
+      if idle.(p) then begin
+        idle.(p) <- false;
+        Heap.push events !now p
+      end
+    done
+  in
+  let anchor_of_parent j tv =
+    (* the anchor in whose queue a level-j task is scheduled *)
+    if j = h then Some root
+    else anchor_at.(j + 1).(parent_task.(j - 1).(tv))
+  in
+  let enqueue_if_ready j tv =
+    if state.(j - 1).(tv) = Waiting && dep_count.(j - 1).(tv) = 0 then
+      match anchor_of_parent j tv with
+      | Some a ->
+        state.(j - 1).(tv) <- Queued;
+        Queue.push tv a.a_queue;
+        wake_all ()
+      | None -> ()
+  in
+  let done_atoms = ref 0 in
+  let rec fire_fine f =
+    List.iter (fun (j, tv) ->
+        dep_count.(j - 1).(tv) <- dep_count.(j - 1).(tv) - 1;
+        enqueue_if_ready j tv)
+      fine_subs.(f);
+    List.iter
+      (fun g ->
+        glue_pred.(g) <- glue_pred.(g) - 1;
+        if glue_pred.(g) = 0 then fire_fine g)
+      glue_succs.(f)
+  in
+  let release_anchor a =
+    free_space.(a.a_level - 1).(a.a_cache) <-
+      free_space.(a.a_level - 1).(a.a_cache) + task_size a.a_level a.a_task;
+    List.iter (fun c -> owner.(a.a_level - 2).(c) <- None) a.a_subclusters
+  in
+  let task_done j ti =
+    Hashtbl.remove visited (j, ti);
+    if j >= 2 then begin
+      (match anchor_at.(j).(ti) with
+      | Some a ->
+        release_anchor a;
+        anchor_at.(j).(ti) <- None
+      | None -> ());
+      match Hashtbl.find_opt task_subs (j, ti) with
+      | Some subs ->
+        List.iter
+          (fun (j', tv) ->
+            dep_count.(j' - 1).(tv) <- dep_count.(j' - 1).(tv) - 1;
+            enqueue_if_ready j' tv)
+          subs;
+        Hashtbl.remove task_subs (j, ti)
+      | None -> ()
+    end;
+    wake_all ()
+  in
+  let complete_atom a =
+    state.(0).(a) <- Done_state;
+    incr done_atoms;
+    Hashtbl.remove visited (1, a);
+    fire_fine a;
+    for j = 2 to h do
+      let tj = atom_parent.(j).(a) in
+      atoms_in.(j).(tj) <- atoms_in.(j).(tj) - 1;
+      if atoms_in.(j).(tj) = 0 then begin
+        state.(j - 1).(tj) <- Done_state;
+        task_done j tj
+      end
+    done;
+    wake_all ()
+  in
+
+  (* fit level: smallest cache level whose (dilated) size holds the task *)
+  let fit_level size =
+    let rec go j = if j > h then h + 1 else if size <= m_of.(j - 1) then j else go (j + 1) in
+    go 1
+  in
+  let alloc_q level size =
+    let f =
+      if level = h + 1 then List.length root.a_subclusters
+      else Pmh.fanout machine ~level
+    in
+    let msize = if level = h + 1 then max 1 size else Pmh.size machine ~level in
+    let frac = 3. *. float_of_int size /. float_of_int msize in
+    (* ceiling rather than floor: stands in for the extra subclusters the
+       full scheduler of [12] provisions for worst-case allocations *)
+    min f
+      (max 1
+         (int_of_float
+            (Float.ceil (float_of_int f *. (frac ** Float.min alloc_alpha 1.)))))
+  in
+  let try_anchor j ti proc =
+    (* anchor level-j' maximal task (node known to be a task at level j',
+       index ti') at the level-j' cache above [proc] *)
+    let node = task_node j ti in
+    let size = task_size j ti in
+    let l = fit_level size in
+    assert (l >= 2 && l <= h);
+    let ti' = ton l node in
+    let cache = Pmh.cache_of_proc machine ~proc ~level:l in
+    if free_space.(l - 1).(cache) < size then None
+    else begin
+      (* free subclusters at level l-1 under this cache; prefer the one
+         on [proc]'s own path so the finder can keep working inside *)
+      let f = Pmh.fanout machine ~level:l in
+      let lo = cache * f in
+      let own = Pmh.cache_of_proc machine ~proc ~level:(l - 1) in
+      let free = ref [] in
+      for c = lo + f - 1 downto lo do
+        if c <> own && owner.(l - 2).(c) = None then free := c :: !free
+      done;
+      if owner.(l - 2).(own) = None then free := own :: !free;
+      if !free = [] then None
+      else begin
+        let q = alloc_q l size in
+        let rec take k = function
+          | [] -> []
+          | c :: rest -> if k = 0 then [] else c :: take (k - 1) rest
+        in
+        let subclusters = take q !free in
+        let a =
+          {
+            a_level = l;
+            a_task = ti';
+            a_cache = cache;
+            a_subclusters = subclusters;
+            a_queue = Queue.create ();
+          }
+        in
+        free_space.(l - 1).(cache) <- free_space.(l - 1).(cache) - size;
+        List.iter (fun c -> owner.(l - 2).(c) <- Some a) subclusters;
+        anchor_at.(l).(ti') <- Some a;
+        incr n_anchors;
+        (* enqueue already-ready children *)
+        List.iter
+          (fun child ->
+            if state.(l - 2).(child) = Waiting && dep_count.(l - 2).(child) = 0
+            then begin
+              state.(l - 2).(child) <- Queued;
+              Queue.push child a.a_queue
+            end)
+          children.(l).(ti');
+        wake_all ();
+        Some a
+      end
+    end
+  in
+
+  (* the lowest anchor processor p is part of (the paper's work-finding
+     rule: a processor searches only there; exclusivity) *)
+  let lowest_anchor p =
+    let found = ref root in
+    (try
+       for k = 1 to h do
+         let c = Pmh.cache_of_proc machine ~proc:p ~level:k in
+         match owner.(k - 1).(c) with
+         | Some a ->
+           found := a;
+           raise Exit
+         | None -> ()
+       done
+     with Exit -> ());
+    !found
+  in
+
+  let covers a p =
+    a == root
+    ||
+    let c = Pmh.cache_of_proc machine ~proc:p ~level:(a.a_level - 1) in
+    List.mem c a.a_subclusters
+  in
+
+  (* returns the atom to run, or None *)
+  let find_work p =
+    let rec search a =
+      let child_level = a.a_level - 1 in
+      let budget = ref (Queue.length a.a_queue) in
+      let result = ref None in
+      while !result = None && !budget > 0 && not (Queue.is_empty a.a_queue) do
+        decr budget;
+        let tv = Queue.pop a.a_queue in
+        let node = task_node child_level tv in
+        let size = task_size child_level tv in
+        if size <= m_of.(0) || Program.children program node = [||] then begin
+          state.(child_level - 1).(tv) <- Active;
+          result := Some (`Run (child_level, tv))
+        end
+        else
+          match try_anchor child_level tv p with
+          | Some sub ->
+            state.(child_level - 1).(tv) <- Active;
+            result := Some (`Descend sub)
+          | None -> Queue.push tv a.a_queue
+      done;
+      match !result with
+      | Some (`Run r) -> Some r
+      | Some (`Descend sub) ->
+        (* if p joined the new anchor's allocation it must work there
+           exclusively; otherwise keep scanning the current queue *)
+        if covers sub p then search sub else search a
+      | None -> None
+    in
+    search (lowest_anchor p)
+  in
+
+  (* ---- bootstrap ---- *)
+  (* fire parentless glue vertices *)
+  for g = n1 to fine_n - 1 do
+    if glue_pred.(g) = 0 then begin
+      (* mark so the cascade does not re-fire it *)
+      glue_pred.(g) <- -1;
+      fire_fine g
+    end
+  done;
+  for ti = 0 to n_tasks.(h - 1) - 1 do
+    enqueue_if_ready h ti
+  done;
+  let running = Array.make n_procs (-1) in
+  let busy = ref 0 in
+  for p = 0 to n_procs - 1 do
+    Heap.push events 0 p
+  done;
+  let makespan = ref 0 in
+  while not (Heap.is_empty events) do
+    let t, p = Heap.pop events in
+    now := t;
+    if t > !makespan && running.(p) >= 0 then makespan := t;
+    if running.(p) >= 0 then begin
+      let a = running.(p) in
+      running.(p) <- (-1);
+      complete_atom a
+    end;
+    if not idle.(p) then
+      match find_work p with
+      | Some (_level, tv) ->
+        (* the node is also a level-1 task: execute it serially *)
+        let a1 = ton 1 (task_node _level tv) in
+        state.(0).(a1) <- Active;
+        let d =
+          max 1
+            (match accounting with
+            | Rho -> atom_cost a1
+            | Lru -> atom_cost_lru p a1)
+        in
+        running.(p) <- a1;
+        busy := !busy + d;
+        Heap.push events (t + d) p
+      | None -> idle.(p) <- true
+  done;
+  if !done_atoms < n1 then
+    raise
+      (Deadlock
+         (Printf.sprintf "completed %d of %d level-1 tasks" !done_atoms n1));
+  {
+    time = !makespan;
+    work = Dag.work dag;
+    misses;
+    miss_cost = !total_miss_cost;
+    busy = !busy;
+    n_anchors = !n_anchors;
+    n_procs;
+  }

@@ -1,0 +1,67 @@
+(** Space-bounded scheduler for ND programs on a PMH (Section 4).
+
+    Discrete-event simulation of the scheduler of the paper (adapted from
+    Blelloch et al. for the ND model):
+
+    - {b Anchoring}: a ready task is anchored at the cache level with
+      respect to which it is maximal (size at most [sigma * M_level]),
+      on the cache above the processor that found it, and is allocated
+      [g_level(S) = min(f, max(1, floor(f * (3S/M)^alpha')))] subclusters
+      whose processors then work exclusively on it.
+    - {b Boundedness}: the total size of tasks anchored at a cache never
+      exceeds [sigma * M].
+    - {b Readiness} (Figure 12): within an anchored level-i task, the
+      level-(i-1) subtasks become ready under full fine-grained dataflow
+      (an arrow is satisfied when its source strand's level-1 task
+      completes); dependencies whose source lies {e outside} the anchored
+      task are coarsened to the completion of the source's enclosing
+      level-i maximal task in [Coarse] mode (the paper's scheduler), or
+      kept fine-grained in [Fine] mode (the E7 ablation).
+    - {b Miss accounting} (the paper's latency-added cost ρ): a strand
+      pays [C_j] for every footprint word not previously touched inside
+      its enclosing level-j maximal task instance, for every level j —
+      so the per-level totals are exactly the quantities Theorem 1
+      bounds by [Q*(t; sigma * M_j)].
+
+    Strand actions are never run — this is a timing/locality simulation;
+    use {!Nd.Serial_exec} or [Nd_runtime] for real execution. *)
+
+type mode = Coarse | Fine
+
+(** Which locality model charges the misses: [Rho] is the paper's
+    latency-added cost (first touch within the enclosing maximal task at
+    each level — the quantity Theorem 1 bounds); [Lru] simulates
+    inclusive per-cache LRU exactly like the work-stealing baseline, for
+    an apples-to-apples E6 comparison. *)
+type accounting = Rho | Lru
+
+type stats = {
+  time : int;  (** makespan in cost units *)
+  work : int;  (** total strand work *)
+  misses : int array;  (** index j-1 = misses at cache level j *)
+  miss_cost : int;  (** total miss cost summed over levels *)
+  busy : int;  (** total processor busy time *)
+  n_anchors : int;  (** anchors created above level 1 *)
+  n_procs : int;
+}
+
+exception Deadlock of string
+
+(** [run ?sigma ?mode ?alloc_alpha program machine] simulates and returns
+    the stats.  [sigma] defaults to 1/3 (Lemma 6); [alloc_alpha] is the
+    α' of the allocation function (default 1).
+    @raise Deadlock if the dependency structure cannot make progress
+    (indicates a cyclic or unsatisfiable rule set). *)
+val run :
+  ?sigma:float ->
+  ?mode:mode ->
+  ?accounting:accounting ->
+  ?alloc_alpha:float ->
+  Nd.Program.t ->
+  Nd_pmh.Pmh.t ->
+  stats
+
+(** [utilization s] = busy / (time * procs). *)
+val utilization : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,30 @@
+(** Randomized work-stealing baseline (the scheduler the paper's SB
+    design is compared against, cf. [47, 48]).
+
+    Simulates classic Chase–Lev-style work stealing directly over the
+    algorithm DAG: each processor owns a deque of ready vertices, pushes
+    newly enabled successors to its bottom, and steals from a uniformly
+    random victim's top when empty.  Locality is modelled with an
+    inclusive multi-level LRU hierarchy on the same PMH geometry — shared
+    caches see the interleaved streams of the processors below them, so
+    steals destroy the locality that SB anchoring preserves; comparing
+    per-level misses against {!Sb_sched} is experiment E6. *)
+
+type stats = {
+  time : int;
+  work : int;
+  misses : int array;  (** per cache level *)
+  miss_cost : int;
+  steals : int;
+  busy : int;
+  n_procs : int;
+}
+
+(** [run ?seed ?steal_cost program machine] — simulate; [steal_cost]
+    (default 2) time units per successful steal. *)
+val run :
+  ?seed:int -> ?steal_cost:int -> Nd.Program.t -> Nd_pmh.Pmh.t -> stats
+
+val utilization : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit

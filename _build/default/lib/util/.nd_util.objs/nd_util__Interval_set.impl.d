@@ -1,0 +1,1 @@
+lib/util/interval_set.ml: Format List

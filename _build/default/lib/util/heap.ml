@@ -1,0 +1,64 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable n : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; n = 0; next_seq = 0 }
+
+let is_empty t = t.n = 0
+
+let length t = t.n
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.n && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.n && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key value =
+  if t.n >= Array.length t.data then begin
+    let cap = max 16 (2 * Array.length t.data) in
+    let entry = { key; seq = 0; value } in
+    let bigger = Array.make cap entry in
+    Array.blit t.data 0 bigger 0 t.n;
+    t.data <- bigger
+  end;
+  t.data.(t.n) <- { key; seq = t.next_seq; value };
+  t.next_seq <- t.next_seq + 1;
+  t.n <- t.n + 1;
+  sift_up t (t.n - 1)
+
+let pop t =
+  if t.n = 0 then raise Not_found;
+  let top = t.data.(0) in
+  t.n <- t.n - 1;
+  if t.n > 0 then begin
+    t.data.(0) <- t.data.(t.n);
+    sift_down t 0
+  end;
+  (top.key, top.value)
+
+let peek_key t = if t.n = 0 then raise Not_found else t.data.(0).key

@@ -1,0 +1,22 @@
+(** Array-based binary min-heap with integer keys, used as the event
+    queue of the discrete-event schedulers.  Ties are broken by insertion
+    order (FIFO), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+(** [push t key v] inserts [v] with priority [key]. *)
+val push : 'a t -> int -> 'a -> unit
+
+(** [pop t] removes and returns the minimum-key element [(key, v)].
+    @raise Not_found when empty. *)
+val pop : 'a t -> int * 'a
+
+(** [peek_key t] returns the minimum key without removing.
+    @raise Not_found when empty. *)
+val peek_key : 'a t -> int

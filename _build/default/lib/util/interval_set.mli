@@ -1,0 +1,51 @@
+(** Sets of integers represented as sorted, disjoint, half-open intervals
+    [\[lo, hi)].  Used throughout the library to represent memory footprints
+    over a flat global address space: footprint unions, cardinalities and
+    difference cardinalities are the primitive operations behind task sizes
+    [s(t)], the PCC metric [Q*] and the scheduler's miss accounting. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+(** [interval lo hi] is the half-open interval [\[lo, hi)].
+    @raise Invalid_argument if [lo > hi]. *)
+val interval : int -> int -> t
+
+(** [singleton x] is the one-element set [{x}]. *)
+val singleton : int -> t
+
+(** [of_intervals l] is the union of the given [(lo, hi)] half-open
+    intervals, which may overlap and come in any order. *)
+val of_intervals : (int * int) list -> t
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+(** [diff a b] is the set of elements of [a] not in [b]. *)
+val diff : t -> t -> t
+
+val mem : int -> t -> bool
+
+(** [cardinal t] is the number of integers in the set. *)
+val cardinal : t -> int
+
+(** [intervals t] returns the canonical sorted disjoint interval list. *)
+val intervals : t -> (int * int) list
+
+val equal : t -> t -> bool
+
+(** [overlaps a b] is [true] iff the intersection is non-empty (cheaper
+    than computing it). *)
+val overlaps : t -> t -> bool
+
+(** [add_count acc t] unions [t] into the mutable accumulator and returns
+    how many elements of [t] were new, i.e. [cardinal (diff t !acc)].
+    This is the "first touch within a maximal task" primitive used by the
+    PMH miss accounting. *)
+val absorb : t ref -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(* SplitMix64 (Steele, Lea, Flood; JDK SplittableRandom).  State is a single
+   64-bit counter advanced by the golden-gamma; output is a finalizer hash. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = next_int64 t in
+  { state = s }
+
+(* keep 62 bits: OCaml's native int has 63, so a 63-bit value could set
+   the sign bit after Int64.to_int truncation *)
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  (* rejection sampling to avoid modulo bias *)
+  let rec go () =
+    let r = next t in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then go () else v
+  in
+  go ()
+
+let float t = float_of_int (next t) /. float_of_int max_int
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

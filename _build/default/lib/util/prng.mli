@@ -1,0 +1,30 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of the library (work-stealing victim choice,
+    synthetic workload generation, property-test inputs) draws from an
+    explicit [Prng.t] so that simulations are reproducible from a seed. *)
+
+type t
+
+(** [create seed] makes a generator from a 64-bit seed. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a statistically independent child
+    generator (for deterministic parallel streams). *)
+val split : t -> t
+
+(** [next t] returns the next raw 62-bit non-negative integer. *)
+val next : t -> int
+
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool

@@ -1,0 +1,47 @@
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title headers = { title; headers; rows = [] }
+
+let add_row t cells = t.rows <- cells :: t.rows
+
+let cell_int = string_of_int
+
+let cell_float ?(prec = 3) f = Printf.sprintf "%.*f" prec f
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.headers) rows
+  in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = pad t.headers :: List.map pad rows in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r i))) 0 all)
+  in
+  let buf = Buffer.create 1024 in
+  let line ch =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let row cells =
+    List.iter2
+      (fun w c -> Buffer.add_string buf (Printf.sprintf "| %-*s " w c))
+      widths cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" t.title);
+  line '-';
+  row (pad t.headers);
+  line '=';
+  List.iter (fun r -> row r) (List.map pad rows);
+  line '-';
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,22 @@
+(** ASCII table rendering for the benchmark harness.  Every experiment
+    prints its results as one of these tables so the output can be compared
+    line-by-line against the paper's claims recorded in EXPERIMENTS.md. *)
+
+type t
+
+(** [create ~title headers] starts a table with the given column headers. *)
+val create : title:string -> string list -> t
+
+(** [add_row t cells] appends a row; short rows are padded with blanks. *)
+val add_row : t -> string list -> unit
+
+(** Convenience cell formatters. *)
+val cell_int : int -> string
+
+val cell_float : ?prec:int -> float -> string
+
+(** [render t] lays the table out with column-width alignment. *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a blank line. *)
+val print : t -> unit

@@ -1,0 +1,1 @@
+test/test_algos.ml: Alcotest Cholesky Format Fw1d Fw2d Gotoh Lcs List Lu Matmul Nd Nd_algos Nd_dag Nd_util Printf QCheck2 QCheck_alcotest Stencil Trs Workload

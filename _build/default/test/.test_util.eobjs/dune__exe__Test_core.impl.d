@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Array Fire_rule Gen List Nd Nd_dag Nd_util Pedigree Program QCheck2 QCheck_alcotest Rule_check Spawn_tree Strand String

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array List Nd_dag Nd_util

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Float Kernels Mat Nd_algos Nd_util

@@ -1,0 +1,1 @@
+test/test_mat.ml: Alcotest Mat Nd_algos Nd_util

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Cholesky Fire_rule Lcs List Matmul Nd Nd_algos Nd_mem Nd_util Printf Program Spawn_tree Strand Trs

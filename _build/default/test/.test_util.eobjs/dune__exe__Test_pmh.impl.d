@@ -1,0 +1,1 @@
+test/test_pmh.ml: Alcotest Nd_pmh

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Atomic Cholesky Domain Fw1d Fw2d Lcs List Lu Matmul Nd_algos Nd_runtime Trs Workload

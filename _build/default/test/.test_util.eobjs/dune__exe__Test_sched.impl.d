@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Cholesky Fw1d Fw2d Lcs List Lu Matmul Nd_algos Nd_mem Nd_pmh Nd_sched Trs Workload

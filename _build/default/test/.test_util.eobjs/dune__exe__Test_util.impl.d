@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Nd_util QCheck2 QCheck_alcotest String

@@ -1,0 +1,187 @@
+module Prng = Nd_util.Prng
+open Nd_algos
+
+(* A workload is correct when (a) its ND DAG is determinacy-race free and
+   (b) executing the strands in a randomized topological order reproduces
+   the serial reference.  Together these imply every legal schedule —
+   including the multicore executors' — computes the right answer. *)
+let check_workload ?(orders = 3) ~tol name (w : Workload.t) =
+  let p = Workload.compile w in
+  (match Nd_dag.Race.find_races ~limit:4 (Nd.Program.dag p) with
+  | [] -> ()
+  | races ->
+    Alcotest.failf "%s: %d races, first: %s" name (List.length races)
+      (Format.asprintf "%a" (Nd_dag.Race.pp_race (Nd.Program.dag p))
+         (List.hd races)));
+  for k = 1 to orders do
+    w.Workload.reset ();
+    Nd.Serial_exec.run ~rng:(Prng.create (1000 + k)) p;
+    let err = w.Workload.check () in
+    if err > tol then Alcotest.failf "%s: order %d err %g > %g" name k err tol
+  done;
+  (* the NP projection must be correct too *)
+  let pnp = Workload.compile ~mode:Workload.NP w in
+  w.Workload.reset ();
+  Nd.Serial_exec.run ~rng:(Prng.create 77) pnp;
+  let err = w.Workload.check () in
+  if err > tol then Alcotest.failf "%s: NP err %g > %g" name err tol
+
+let spans w =
+  let nd = Workload.compile w and np = Workload.compile ~mode:Workload.NP w in
+  ( (Nd.Analysis.analyze nd).Nd.Analysis.span,
+    (Nd.Analysis.analyze np).Nd.Analysis.span,
+    (Nd.Analysis.analyze nd).Nd.Analysis.work,
+    (Nd.Analysis.analyze np).Nd.Analysis.work )
+
+let test_correct name mk tol () = check_workload ~tol name (mk ())
+
+let test_nd_span_le_np mk () =
+  let snd_, snp, wnd, wnp = spans (mk ()) in
+  Alcotest.(check int) "work preserved by projection" wnd wnp;
+  Alcotest.(check bool)
+    (Printf.sprintf "span ND (%d) <= span NP (%d)" snd_ snp)
+    true (snd_ <= snp)
+
+(* the paper's span separations at a fixed size: strict improvements *)
+let test_strict_separation () =
+  let strict mk =
+    let snd_, snp, _, _ = spans (mk ()) in
+    Alcotest.(check bool) "strictly better" true (snd_ < snp)
+  in
+  strict (fun () -> Trs.workload ~n:32 ~base:2 ~seed:5 ());
+  strict (fun () -> Cholesky.workload ~n:32 ~base:2 ~seed:5 ());
+  strict (fun () -> Lcs.workload ~n:64 ~base:2 ~seed:5 ());
+  strict (fun () -> Fw1d.workload ~n:64 ~base:2 ~seed:5 ());
+  strict (fun () -> Gotoh.workload ~n:64 ~base:2 ~seed:5 ())
+
+(* ND spans grow linearly: doubling n at most ~doubles the span *)
+let test_linear_span_growth () =
+  let ratio mk_small mk_big =
+    let s1, _, _, _ = spans (mk_small ()) in
+    let s2, _, _, _ = spans (mk_big ()) in
+    float_of_int s2 /. float_of_int s1
+  in
+  let check name r =
+    if r > 2.5 then Alcotest.failf "%s: span ratio %.2f superlinear" name r
+  in
+  check "trs"
+    (ratio
+       (fun () -> Trs.workload ~n:16 ~base:2 ~seed:1 ())
+       (fun () -> Trs.workload ~n:32 ~base:2 ~seed:1 ()));
+  check "cholesky"
+    (ratio
+       (fun () -> Cholesky.workload ~n:16 ~base:2 ~seed:1 ())
+       (fun () -> Cholesky.workload ~n:32 ~base:2 ~seed:1 ()));
+  check "lcs"
+    (ratio
+       (fun () -> Lcs.workload ~n:64 ~base:2 ~seed:1 ())
+       (fun () -> Lcs.workload ~n:128 ~base:2 ~seed:1 ()));
+  check "fw1d"
+    (ratio
+       (fun () -> Fw1d.workload ~n:64 ~base:2 ~seed:1 ())
+       (fun () -> Fw1d.workload ~n:128 ~base:2 ~seed:1 ()))
+
+(* the paper-literal rule sets must be flagged as racy *)
+let test_literal_rules_racy () =
+  let racy name w =
+    let p = Workload.compile w in
+    Alcotest.(check bool) (name ^ " literal is racy") false
+      (Nd_dag.Race.race_free (Nd.Program.dag p))
+  in
+  racy "mm" (Matmul.workload ~variant:Matmul.Literal ~n:16 ~base:2 ~seed:2 ());
+  racy "trs" (Trs.workload ~variant:Trs.Literal ~n:16 ~base:2 ~seed:2 ());
+  racy "lcs" (Lcs.workload ~variant:`Literal ~n:16 ~base:2 ~seed:2 ());
+  racy "fw1d" (Fw1d.workload ~variant:`Literal ~n:16 ~base:2 ~seed:2 ())
+
+let test_mm8_span_much_smaller () =
+  let w8 = Matmul.workload8 ~n:32 ~base:2 ~seed:3 () in
+  let w2 = Matmul.workload ~n:32 ~base:2 ~seed:3 () in
+  let s8, _, _, _ = spans w8 and s2, _, _, _ = spans w2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "8-way span %d < 2-way span %d / 4" s8 s2)
+    true
+    (s8 * 4 < s2)
+
+let test_shape_validation () =
+  Alcotest.check_raises "n not pow2"
+    (Invalid_argument "Workload: n must be a power of two") (fun () ->
+      ignore (Matmul.workload ~n:12 ~base:2 ~seed:1 ()));
+  Alcotest.check_raises "base > n" (Invalid_argument "Workload: base > n")
+    (fun () -> ignore (Matmul.workload ~n:4 ~base:8 ~seed:1 ()));
+  Alcotest.check_raises "lu base = n"
+    (Invalid_argument "Lu.workload: base must be smaller than n for a panel chain")
+    (fun () -> ignore (Lu.workload ~n:8 ~base:8 ~seed:1 ()))
+
+(* property: every family correct across a few random sizes/seeds *)
+let prop_random_instances =
+  QCheck2.Test.make ~name:"random instances execute correctly" ~count:12
+    QCheck2.Gen.(
+      pair (int_range 0 6) (int_range 1 1000))
+    (fun (which, seed) ->
+      let w, tol =
+        match which with
+        | 0 -> (Matmul.workload ~n:8 ~base:2 ~seed (), 1e-9)
+        | 1 -> (Trs.workload ~n:8 ~base:2 ~seed (), 1e-8)
+        | 2 -> (Cholesky.workload ~n:8 ~base:2 ~seed (), 1e-8)
+        | 3 -> (Lu.workload ~n:8 ~base:2 ~seed (), 1e-8)
+        | 4 -> (Lcs.workload ~n:16 ~base:2 ~seed (), 0.)
+        | 5 -> (Fw1d.workload ~n:16 ~base:2 ~seed (), 0.)
+        | _ -> (Fw2d.workload ~n:8 ~base:2 ~seed (), 1e-12)
+      in
+      let p = Workload.compile w in
+      w.Workload.reset ();
+      Nd.Serial_exec.run ~rng:(Prng.create seed) p;
+      w.Workload.check () <= tol)
+
+let correctness_cases =
+  [
+    ("mm n=16 b=2", (fun () -> Matmul.workload ~n:16 ~base:2 ~seed:11 ()), 1e-9);
+    ("mm n=16 b=4", (fun () -> Matmul.workload ~n:16 ~base:4 ~seed:12 ()), 1e-9);
+    ("mm n=16 b=16 (single leaf)",
+     (fun () -> Matmul.workload ~n:16 ~base:16 ~seed:13 ()), 1e-9);
+    ("mm8 n=16", (fun () -> Matmul.workload8 ~n:16 ~base:2 ~seed:14 ()), 1e-9);
+    ("trs n=16", (fun () -> Trs.workload ~n:16 ~base:2 ~seed:15 ()), 1e-8);
+    ("trsr n=16", (fun () -> Trs.workload_right ~n:16 ~base:2 ~seed:16 ()), 1e-8);
+    ("cholesky n=16", (fun () -> Cholesky.workload ~n:16 ~base:2 ~seed:17 ()), 1e-8);
+    ("lu n=16", (fun () -> Lu.workload ~n:16 ~base:2 ~seed:18 ()), 1e-8);
+    ("lu n=16 b=4", (fun () -> Lu.workload ~n:16 ~base:4 ~seed:19 ()), 1e-8);
+    ("lcs n=32", (fun () -> Lcs.workload ~n:32 ~base:2 ~seed:20 ()), 0.);
+    ("lcs n=32 b=8", (fun () -> Lcs.workload ~n:32 ~base:8 ~seed:21 ()), 0.);
+    ("fw1d n=32", (fun () -> Fw1d.workload ~n:32 ~base:2 ~seed:22 ()), 0.);
+    ("gotoh n=32", (fun () -> Gotoh.workload ~n:32 ~base:2 ~seed:25 ()), 0.);
+    ("stencil n=32", (fun () -> Stencil.workload ~n:32 ~base:4 ~seed:27 ()), 0.);
+    ("stencil n=32 b=16", (fun () -> Stencil.workload ~n:32 ~base:16 ~seed:28 ()), 0.);
+    ("gotoh n=32 b=8", (fun () -> Gotoh.workload ~n:32 ~base:8 ~seed:26 ()), 0.);
+    ("apsp n=16", (fun () -> Fw2d.workload ~n:16 ~base:2 ~seed:23 ()), 1e-12);
+    ("apsp n=16 b=4", (fun () -> Fw2d.workload ~n:16 ~base:4 ~seed:24 ()), 1e-12);
+  ]
+
+let () =
+  let correctness =
+    List.map
+      (fun (name, mk, tol) ->
+        Alcotest.test_case name `Quick (test_correct name mk tol))
+      correctness_cases
+  in
+  let span_cases =
+    List.map
+      (fun (name, mk, _) ->
+        Alcotest.test_case name `Quick (test_nd_span_le_np mk))
+      correctness_cases
+  in
+  Alcotest.run "nd_algos"
+    [
+      ("correctness (race-free + randomized orders)", correctness);
+      ("span: ND <= NP", span_cases);
+      ( "span separations",
+        [
+          Alcotest.test_case "strict ND < NP" `Quick test_strict_separation;
+          Alcotest.test_case "linear ND growth" `Quick test_linear_span_growth;
+          Alcotest.test_case "mm8 polylog span" `Quick test_mm8_span_much_smaller;
+        ] );
+      ( "rule sets",
+        [ Alcotest.test_case "literal sets racy" `Quick test_literal_rules_racy ] );
+      ( "validation",
+        [ Alcotest.test_case "shape checks" `Quick test_shape_validation ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_instances ]);
+    ]

@@ -1,0 +1,179 @@
+module Dag = Nd_dag.Dag
+module Race = Nd_dag.Race
+module Is = Nd_util.Interval_set
+
+let v ?(work = 1) ?(reads = Is.empty) ?(writes = Is.empty) dag label =
+  Dag.add_vertex dag ~label ~work ~reads ~writes ()
+
+(* diamond: a -> b, a -> c, b -> d, c -> d *)
+let diamond () =
+  let dag = Dag.create () in
+  let a = v dag "a" and b = v dag ~work:5 "b" and c = v dag "c" and d = v dag "d" in
+  Dag.add_edge dag a b;
+  Dag.add_edge dag a c;
+  Dag.add_edge dag b d;
+  Dag.add_edge dag c d;
+  (dag, a, b, c, d)
+
+let test_basic () =
+  let dag, a, b, _, d = diamond () in
+  Alcotest.(check int) "vertices" 4 (Dag.n_vertices dag);
+  Alcotest.(check int) "edges" 4 (Dag.n_edges dag);
+  Alcotest.(check int) "work" 8 (Dag.work dag);
+  Alcotest.(check (list int)) "succs a" [ b ] [ List.hd (List.rev (Dag.succs dag a)) ];
+  Alcotest.(check int) "preds d" 2 (List.length (Dag.preds dag d));
+  Alcotest.(check string) "label" "b" (Dag.label dag b)
+
+let test_duplicate_edge () =
+  let dag = Dag.create () in
+  let a = v dag "a" and b = v dag "b" in
+  Dag.add_edge dag a b;
+  Dag.add_edge dag a b;
+  Alcotest.(check int) "deduped" 1 (Dag.n_edges dag)
+
+let test_self_loop_rejected () =
+  let dag = Dag.create () in
+  let a = v dag "a" in
+  Alcotest.check_raises "self loop" (Invalid_argument "Dag.add_edge: self loop")
+    (fun () -> Dag.add_edge dag a a)
+
+let test_span () =
+  let dag, _, _, _, _ = diamond () in
+  (* longest path a(1) b(5) d(1) = 7 *)
+  Alcotest.(check int) "span" 7 (Dag.span dag)
+
+let test_critical_path () =
+  let dag, a, b, _, d = diamond () in
+  Alcotest.(check (list int)) "path" [ a; b; d ] (Dag.critical_path dag)
+
+let test_topo () =
+  let dag, a, b, c, d = diamond () in
+  let order = Dag.topo_order dag in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun i x -> pos.(x) <- i) order;
+  Alcotest.(check bool) "a before b" true (pos.(a) < pos.(b));
+  Alcotest.(check bool) "a before c" true (pos.(a) < pos.(c));
+  Alcotest.(check bool) "b before d" true (pos.(b) < pos.(d));
+  Alcotest.(check bool) "c before d" true (pos.(c) < pos.(d))
+
+let test_cycle_detection () =
+  let dag = Dag.create () in
+  let a = v dag "a" and b = v dag "b" and c = v dag "c" in
+  Dag.add_edge dag a b;
+  Dag.add_edge dag b c;
+  Dag.add_edge dag c a;
+  (match Dag.topo_order dag with
+  | exception Dag.Cycle _ -> ()
+  | _ -> Alcotest.fail "cycle not detected")
+
+let test_sources_sinks () =
+  let dag, a, _, _, d = diamond () in
+  Alcotest.(check (list int)) "sources" [ a ] (Dag.sources dag);
+  Alcotest.(check (list int)) "sinks" [ d ] (Dag.sinks dag)
+
+let test_weighted () =
+  let dag, _, b, _, _ = diamond () in
+  (* constant weights: longest path has 3 vertices *)
+  Alcotest.(check int) "hops" 3 (Dag.longest_path_weighted dag (fun _ -> 1));
+  Alcotest.(check int) "only-b" 1
+    (Dag.longest_path_weighted dag (fun x -> if x = b then 1 else 0))
+
+let test_reachability () =
+  let dag, a, b, c, d = diamond () in
+  let r = Dag.reachability dag in
+  Alcotest.(check bool) "a->d" true (Dag.reachable r a d);
+  Alcotest.(check bool) "b->c" false (Dag.reachable r b c);
+  Alcotest.(check bool) "c->b" false (Dag.reachable r c b);
+  Alcotest.(check bool) "self" true (Dag.reachable r b b);
+  Alcotest.(check bool) "d->a" false (Dag.reachable r d a)
+
+let test_reachability_chain () =
+  let dag = Dag.create () in
+  let n = 200 in
+  let vs = Array.init n (fun i -> v dag (string_of_int i)) in
+  for i = 0 to n - 2 do
+    Dag.add_edge dag vs.(i) vs.(i + 1)
+  done;
+  let r = Dag.reachability dag in
+  Alcotest.(check bool) "0 -> last" true (Dag.reachable r vs.(0) vs.(n - 1));
+  Alcotest.(check bool) "last -> 0" false (Dag.reachable r vs.(n - 1) vs.(0));
+  Alcotest.(check int) "span = n" n (Dag.span dag)
+
+(* -------------------------- race detector ------------------------- *)
+
+let test_race_found () =
+  let dag = Dag.create () in
+  let w = Is.interval 0 4 in
+  let a = v dag ~writes:w "a" and b = v dag ~writes:w "b" in
+  ignore a;
+  ignore b;
+  (match Race.find_races dag with
+  | [ r ] ->
+    Alcotest.(check bool) "write-write" true r.Race.write_write;
+    Alcotest.(check int) "overlap" 4 (Is.cardinal r.Race.overlap)
+  | other -> Alcotest.failf "expected 1 race, got %d" (List.length other));
+  Alcotest.(check bool) "not race free" false (Race.race_free dag)
+
+let test_race_ordered_ok () =
+  let dag = Dag.create () in
+  let w = Is.interval 0 4 in
+  let a = v dag ~writes:w "a" and b = v dag ~writes:w "b" in
+  Dag.add_edge dag a b;
+  Alcotest.(check bool) "ordered: race free" true (Race.race_free dag)
+
+let test_race_read_read_ok () =
+  let dag = Dag.create () in
+  let r = Is.interval 0 4 in
+  let _ = v dag ~reads:r "a" and _ = v dag ~reads:r "b" in
+  Alcotest.(check bool) "read-read: race free" true (Race.race_free dag)
+
+let test_race_read_write () =
+  let dag = Dag.create () in
+  let _ = v dag ~reads:(Is.interval 0 4) "a" in
+  let _ = v dag ~writes:(Is.interval 2 6) "b" in
+  match Race.find_races dag with
+  | [ r ] -> Alcotest.(check bool) "read-write" false r.Race.write_write
+  | other -> Alcotest.failf "expected 1 race, got %d" (List.length other)
+
+let test_race_disjoint_ok () =
+  let dag = Dag.create () in
+  let _ = v dag ~writes:(Is.interval 0 4) "a" in
+  let _ = v dag ~writes:(Is.interval 4 8) "b" in
+  Alcotest.(check bool) "disjoint: race free" true (Race.race_free dag)
+
+let test_race_limit () =
+  let dag = Dag.create () in
+  let w = Is.interval 0 1 in
+  for i = 0 to 9 do
+    ignore (v dag ~writes:w (string_of_int i))
+  done;
+  Alcotest.(check int) "limit respected" 3
+    (List.length (Race.find_races ~limit:3 dag))
+
+let () =
+  Alcotest.run "nd_dag"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "duplicate edges" `Quick test_duplicate_edge;
+          Alcotest.test_case "self loop" `Quick test_self_loop_rejected;
+          Alcotest.test_case "span" `Quick test_span;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "topo order" `Quick test_topo;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "sources/sinks" `Quick test_sources_sinks;
+          Alcotest.test_case "weighted longest path" `Quick test_weighted;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+          Alcotest.test_case "reachability chain" `Quick test_reachability_chain;
+        ] );
+      ( "race",
+        [
+          Alcotest.test_case "write-write found" `Quick test_race_found;
+          Alcotest.test_case "ordered ok" `Quick test_race_ordered_ok;
+          Alcotest.test_case "read-read ok" `Quick test_race_read_read_ok;
+          Alcotest.test_case "read-write found" `Quick test_race_read_write;
+          Alcotest.test_case "disjoint ok" `Quick test_race_disjoint_ok;
+          Alcotest.test_case "limit" `Quick test_race_limit;
+        ] );
+    ]

@@ -1,0 +1,198 @@
+module Prng = Nd_util.Prng
+open Nd_algos
+
+let mk n f =
+  let s = Mat.create_space () in
+  let m = Mat.alloc s ~rows:n ~cols:n in
+  Mat.fill m f;
+  m
+
+let tol = 1e-9
+
+let test_mm_acc () =
+  (* [[1 2][3 4]] * [[5 6][7 8]] = [[19 22][43 50]] *)
+  let a = mk 2 (fun i j -> float_of_int ((2 * i) + j + 1)) in
+  let b = mk 2 (fun i j -> float_of_int ((2 * i) + j + 5)) in
+  let c = mk 2 (fun _ _ -> 1.) in
+  Kernels.mm_acc ~sign:1. c a b;
+  Alcotest.(check (float tol)) "c00" 20. (Mat.get c 0 0);
+  Alcotest.(check (float tol)) "c01" 23. (Mat.get c 0 1);
+  Alcotest.(check (float tol)) "c10" 44. (Mat.get c 1 0);
+  Alcotest.(check (float tol)) "c11" 51. (Mat.get c 1 1);
+  Kernels.mm_acc ~sign:(-1.) c a b;
+  Alcotest.(check (float tol)) "subtract back" 1. (Mat.get c 1 1)
+
+let test_mm_acc_nt () =
+  let rng = Prng.create 5 in
+  let a = mk 4 (fun _ _ -> Prng.float rng) in
+  let b = mk 4 (fun _ _ -> Prng.float rng) in
+  let c1 = mk 4 (fun _ _ -> 0.) and c2 = mk 4 (fun _ _ -> 0.) in
+  Kernels.mm_acc_nt ~sign:1. c1 a b;
+  (* compare against explicit transpose *)
+  let bt = mk 4 (fun i j -> Mat.get b j i) in
+  Kernels.mm_acc ~sign:1. c2 a bt;
+  Alcotest.(check (float tol)) "nt = n * transpose" 0. (Mat.max_abs_diff c1 c2)
+
+let test_trs_left () =
+  let rng = Prng.create 7 in
+  let n = 8 in
+  let t = mk n (fun _ _ -> 0.) in
+  Kernels.fill_lower_triangular t rng;
+  let b = mk n (fun _ _ -> Prng.float rng) in
+  let b0 = Mat.snapshot b in
+  Kernels.trs_left t b;
+  (* residual: T * X - B0 = 0 *)
+  let r = mk n (fun _ _ -> 0.) in
+  Kernels.mm_acc ~sign:1. r t b;
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let d = Float.abs (Mat.get r i j -. Mat.get b0 i j) in
+      if d > !worst then worst := d
+    done
+  done;
+  Alcotest.(check (float 1e-9)) "residual" 0. !worst
+
+let test_trs_right () =
+  let rng = Prng.create 8 in
+  let n = 8 in
+  let t = mk n (fun _ _ -> 0.) in
+  Kernels.fill_lower_triangular t rng;
+  let b = mk n (fun _ _ -> Prng.float rng) in
+  let b0 = Mat.snapshot b in
+  Kernels.trs_right t b;
+  (* residual: X * T^T = B0 *)
+  let r = mk n (fun _ _ -> 0.) in
+  Kernels.mm_acc_nt ~sign:1. r b t;
+  Alcotest.(check (float 1e-9)) "residual" 0. (Mat.max_abs_diff r b0)
+
+let test_trs_left_unit () =
+  let rng = Prng.create 9 in
+  let n = 8 in
+  let t = mk n (fun _ _ -> 0.) in
+  Kernels.fill_lower_triangular t rng;
+  let b = mk n (fun _ _ -> Prng.float rng) in
+  let b0 = Mat.snapshot b in
+  Kernels.trs_left_unit t b;
+  (* residual with unit-diagonal T *)
+  let tu = mk n (fun i j -> if i = j then 1. else if i > j then Mat.get t i j else 0.) in
+  let r = mk n (fun _ _ -> 0.) in
+  Kernels.mm_acc ~sign:1. r tu b;
+  Alcotest.(check (float 1e-9)) "residual" 0. (Mat.max_abs_diff r b0)
+
+let test_cholesky () =
+  let rng = Prng.create 10 in
+  let n = 8 in
+  let a = mk n (fun _ _ -> 0.) in
+  Kernels.fill_spd a rng;
+  let a0 = Mat.snapshot a in
+  Kernels.cholesky a;
+  (* zero the upper triangle to get L, then check L L^T = A0 *)
+  let l = mk n (fun i j -> if j <= i then Mat.get a i j else 0.) in
+  let r = mk n (fun _ _ -> 0.) in
+  Kernels.mm_acc_nt ~sign:1. r l l;
+  Alcotest.(check (float 1e-8)) "L L^T = A" 0. (Mat.max_abs_diff r a0)
+
+let test_cholesky_rejects () =
+  let a = mk 2 (fun i j -> if i = j then -1. else 0.) in
+  Alcotest.check_raises "negative definite"
+    (Failure "Kernels.cholesky: non-positive pivot") (fun () -> Kernels.cholesky a)
+
+let test_floyd_warshall () =
+  (* 0 -> 1 (1), 1 -> 2 (1), 0 -> 2 (5): shortest 0->2 is 2 *)
+  let inf = 1e9 in
+  let a =
+    mk 3 (fun i j ->
+        if i = j then 0.
+        else if i = 0 && j = 1 then 1.
+        else if i = 1 && j = 2 then 1.
+        else if i = 0 && j = 2 then 5.
+        else inf)
+  in
+  Kernels.floyd_warshall a;
+  Alcotest.(check (float 0.)) "0->2 via 1" 2. (Mat.get a 0 2);
+  Alcotest.(check (float 0.)) "diag zero" 0. (Mat.get a 1 1)
+
+let test_min_plus_acc_matches_fw_step () =
+  let rng = Prng.create 12 in
+  let a = mk 4 (fun _ _ -> 1. +. Prng.float rng) in
+  let c = Mat.snapshot a in
+  (* c = min(c, a (x) a) must never increase entries *)
+  Kernels.min_plus_acc c a a;
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if Mat.get c i j > Mat.get a i j +. 1e-12 then Alcotest.fail "increased"
+    done
+  done
+
+let test_lu_inplace () =
+  let rng = Prng.create 13 in
+  let n = 8 in
+  let s = Mat.create_space () in
+  let a = Mat.alloc s ~rows:n ~cols:n in
+  Kernels.fill_uniform a rng ~lo:(-1.) ~hi:1.;
+  let a0 = Mat.snapshot a in
+  let piv = Mat.alloc s ~rows:1 ~cols:n in
+  Kernels.lu_inplace a ~piv;
+  (* reconstruct: P*A0 = L*U *)
+  let l = mk n (fun i j -> if i > j then Mat.get a i j else if i = j then 1. else 0.) in
+  let u = mk n (fun i j -> if i <= j then Mat.get a i j else 0.) in
+  let lu = mk n (fun _ _ -> 0.) in
+  Kernels.mm_acc ~sign:1. lu l u;
+  (* apply recorded pivots to A0 *)
+  Kernels.laswp a0 ~piv ~k0:0 ~k1:n ~g:0 ~reverse:false;
+  Alcotest.(check (float 1e-9)) "P A = L U" 0. (Mat.max_abs_diff lu a0)
+
+let test_laswp_roundtrip () =
+  let rng = Prng.create 14 in
+  let n = 8 in
+  let s = Mat.create_space () in
+  let b = Mat.alloc s ~rows:n ~cols:3 in
+  Kernels.fill_uniform b rng ~lo:0. ~hi:1.;
+  let b0 = Mat.snapshot b in
+  let piv = Mat.alloc s ~rows:1 ~cols:n in
+  for j = 0 to n - 1 do
+    Mat.set piv 0 j (float_of_int (j + Prng.int rng (n - j)))
+  done;
+  Kernels.laswp b ~piv ~k0:0 ~k1:n ~g:0 ~reverse:false;
+  Kernels.laswp b ~piv ~k0:0 ~k1:n ~g:0 ~reverse:true;
+  Alcotest.(check (float 0.)) "roundtrip" 0. (Mat.max_abs_diff b b0)
+
+let test_fw_blocks () =
+  (* fwb/fwc applied to the full matrix with u = x must match one
+     Floyd-Warshall sweep *)
+  let rng = Prng.create 15 in
+  let n = 8 in
+  let x = mk n (fun _ _ -> 0.) in
+  Kernels.fill_distances x rng;
+  let y = Mat.snapshot x in
+  Kernels.fwb_block x x;
+  Kernels.floyd_warshall y;
+  Alcotest.(check (float 1e-12)) "fwb full sweep = FW" 0. (Mat.max_abs_diff x y);
+  let z = mk n (fun _ _ -> 0.) in
+  Kernels.fill_distances z (Prng.create 15);
+  Kernels.fwc_block z z;
+  Alcotest.(check (float 1e-12)) "fwc full sweep = FW" 0. (Mat.max_abs_diff z y)
+
+let () =
+  Alcotest.run "nd_algos.kernels"
+    [
+      ( "dense",
+        [
+          Alcotest.test_case "mm_acc" `Quick test_mm_acc;
+          Alcotest.test_case "mm_acc_nt" `Quick test_mm_acc_nt;
+          Alcotest.test_case "trs_left" `Quick test_trs_left;
+          Alcotest.test_case "trs_right" `Quick test_trs_right;
+          Alcotest.test_case "trs_left_unit" `Quick test_trs_left_unit;
+          Alcotest.test_case "cholesky" `Quick test_cholesky;
+          Alcotest.test_case "cholesky rejects" `Quick test_cholesky_rejects;
+          Alcotest.test_case "lu_inplace PA=LU" `Quick test_lu_inplace;
+          Alcotest.test_case "laswp roundtrip" `Quick test_laswp_roundtrip;
+        ] );
+      ( "semiring",
+        [
+          Alcotest.test_case "floyd_warshall" `Quick test_floyd_warshall;
+          Alcotest.test_case "min_plus_acc" `Quick test_min_plus_acc_matches_fw_step;
+          Alcotest.test_case "fwb/fwc blocks" `Quick test_fw_blocks;
+        ] );
+    ]

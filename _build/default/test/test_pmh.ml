@@ -1,0 +1,82 @@
+module Pmh = Nd_pmh.Pmh
+
+let desktop = Pmh.desktop ()
+
+let test_construction () =
+  Alcotest.(check int) "levels" 3 (Pmh.n_levels desktop);
+  Alcotest.(check int) "procs" 16 (Pmh.n_procs desktop);
+  Alcotest.(check int) "L1 count" 16 (Pmh.n_caches desktop ~level:1);
+  Alcotest.(check int) "L2 count" 4 (Pmh.n_caches desktop ~level:2);
+  Alcotest.(check int) "L3 count" 1 (Pmh.n_caches desktop ~level:3);
+  Alcotest.(check int) "L2 size" 8192 (Pmh.size desktop ~level:2);
+  Alcotest.(check int) "L3 cost" 32 (Pmh.miss_cost desktop ~level:3)
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Pmh.create: no cache levels")
+    (fun () -> ignore (Pmh.create ~root_fanout:1 []));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Pmh.create: cache sizes must strictly increase")
+    (fun () ->
+      ignore
+        (Pmh.create ~root_fanout:1
+           [
+             { Pmh.size = 64; fanout = 1; miss_cost = 1 };
+             { Pmh.size = 64; fanout = 2; miss_cost = 2 };
+           ]))
+
+let test_cache_of_proc () =
+  (* proc 5 sits under L1 #5, L2 #1 (4 procs per L2), L3 #0 *)
+  Alcotest.(check int) "L1" 5 (Pmh.cache_of_proc desktop ~proc:5 ~level:1);
+  Alcotest.(check int) "L2" 1 (Pmh.cache_of_proc desktop ~proc:5 ~level:2);
+  Alcotest.(check int) "L3" 0 (Pmh.cache_of_proc desktop ~proc:5 ~level:3);
+  Alcotest.(check (pair int int)) "procs under L2 #1" (4, 7)
+    (Pmh.procs_under desktop ~level:2 ~cache:1);
+  Alcotest.(check (pair int int)) "procs under L3" (0, 15)
+    (Pmh.procs_under desktop ~level:3 ~cache:0)
+
+let test_server_and_scaled () =
+  let server = Pmh.server () in
+  Alcotest.(check int) "server procs" 64 (Pmh.n_procs server);
+  Alcotest.(check int) "server L3s" 4 (Pmh.n_caches server ~level:3);
+  let s8 = Pmh.scaled ~top_caches:8 () in
+  Alcotest.(check int) "scaled procs" 128 (Pmh.n_procs s8);
+  let flat = Pmh.flat ~procs:7 ~m:100 ~miss_cost:3 in
+  Alcotest.(check int) "flat procs" 7 (Pmh.n_procs flat);
+  Alcotest.(check int) "flat levels" 1 (Pmh.n_levels flat)
+
+let test_cum_cost () =
+  Alcotest.(check int) "from L1" 0 (Pmh.cum_miss_cost desktop ~level:1);
+  Alcotest.(check int) "from L2" 2 (Pmh.cum_miss_cost desktop ~level:2);
+  Alcotest.(check int) "from L3" 10 (Pmh.cum_miss_cost desktop ~level:3);
+  Alcotest.(check int) "from memory" 42 (Pmh.cum_miss_cost desktop ~level:4)
+
+let test_perfect_time () =
+  (* constant Q* makes the bound easy to compute by hand:
+     (q*2 + q*8 + q*32) / 16 *)
+  let q = 100 in
+  let pt = Pmh.perfect_time desktop ~sigma:0.5 ~q_star:(fun _ -> q) in
+  Alcotest.(check (float 1e-9)) "arithmetic" (float_of_int (q * 42) /. 16.) pt
+
+let test_overhead_vh () =
+  let v = Pmh.overhead_vh desktop ~alpha:1. ~k:0.5 in
+  Alcotest.(check bool) "at least 2" true (v >= 2.);
+  (* lower alpha (less parallelizable) means more overhead *)
+  let v' = Pmh.overhead_vh desktop ~alpha:0.5 ~k:0.5 in
+  Alcotest.(check bool) "monotone in alpha" true (v' >= v);
+  Alcotest.check_raises "bad k" (Invalid_argument "Pmh.overhead_vh: k not in (0,1)")
+    (fun () -> ignore (Pmh.overhead_vh desktop ~alpha:1. ~k:1.))
+
+let () =
+  Alcotest.run "nd_pmh"
+    [
+      ( "pmh",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "cache_of_proc" `Quick test_cache_of_proc;
+          Alcotest.test_case "server/scaled/flat" `Quick test_server_and_scaled;
+          Alcotest.test_case "cumulative costs" `Quick test_cum_cost;
+          Alcotest.test_case "perfect time (Eq. 22)" `Quick test_perfect_time;
+          Alcotest.test_case "overhead v_h" `Quick test_overhead_vh;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+module Deque = Nd_runtime.Deque
+module Executor = Nd_runtime.Executor
+open Nd_algos
+
+(* ------------------------------ deque ------------------------------ *)
+
+let test_deque_lifo () =
+  let d = Deque.create () in
+  for i = 1 to 5 do
+    Deque.push d i
+  done;
+  Alcotest.(check int) "size" 5 (Deque.size d);
+  Alcotest.(check (option int)) "pop" (Some 5) (Deque.pop d);
+  Alcotest.(check (option int)) "pop" (Some 4) (Deque.pop d);
+  Alcotest.(check (option int)) "steal is FIFO" (Some 1) (Deque.steal d);
+  Alcotest.(check (option int)) "steal" (Some 2) (Deque.steal d);
+  Alcotest.(check (option int)) "pop last" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal d)
+
+let test_deque_growth () =
+  let d = Deque.create () in
+  for i = 0 to 999 do
+    Deque.push d i
+  done;
+  for i = 999 downto 0 do
+    Alcotest.(check (option int)) "pop order" (Some i) (Deque.pop d)
+  done
+
+let test_deque_concurrent () =
+  (* 1 owner pushing/popping + 2 thieves: every element is consumed
+     exactly once *)
+  let d = Deque.create () in
+  let n = 20_000 in
+  let consumed = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  let thief () =
+    while Atomic.get consumed < n do
+      match Deque.steal d with
+      | Some v ->
+        Atomic.incr consumed;
+        ignore (Atomic.fetch_and_add sum v)
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let thieves = [ Domain.spawn thief; Domain.spawn thief ] in
+  for i = 1 to n do
+    Deque.push d i;
+    if i mod 3 = 0 then
+      match Deque.pop d with
+      | Some v ->
+        Atomic.incr consumed;
+        ignore (Atomic.fetch_and_add sum v)
+      | None -> ()
+  done;
+  (* owner drains the rest *)
+  let rec drain () =
+    match Deque.pop d with
+    | Some v ->
+      Atomic.incr consumed;
+      ignore (Atomic.fetch_and_add sum v);
+      drain ()
+    | None -> if Atomic.get consumed < n then drain ()
+  in
+  drain ();
+  List.iter Domain.join thieves;
+  Alcotest.(check int) "all consumed" n (Atomic.get consumed);
+  Alcotest.(check int) "sum preserved" (n * (n + 1) / 2) (Atomic.get sum)
+
+(* ---------------------------- executors ---------------------------- *)
+
+let exec_check name w run tol =
+  let p = Workload.compile w in
+  w.Workload.reset ();
+  run p;
+  let err = w.Workload.check () in
+  if err > tol then Alcotest.failf "%s: err %g > %g" name err tol
+
+let test_dataflow_correct () =
+  List.iter
+    (fun workers ->
+      exec_check "mm"
+        (Matmul.workload ~n:16 ~base:2 ~seed:31 ())
+        (Executor.run_dataflow ~workers) 1e-9;
+      exec_check "trs"
+        (Trs.workload ~n:16 ~base:2 ~seed:32 ())
+        (Executor.run_dataflow ~workers) 1e-8;
+      exec_check "cholesky"
+        (Cholesky.workload ~n:16 ~base:2 ~seed:33 ())
+        (Executor.run_dataflow ~workers) 1e-8;
+      exec_check "lcs"
+        (Lcs.workload ~n:32 ~base:4 ~seed:34 ())
+        (Executor.run_dataflow ~workers) 0.;
+      exec_check "apsp"
+        (Fw2d.workload ~n:16 ~base:2 ~seed:35 ())
+        (Executor.run_dataflow ~workers) 1e-12)
+    [ 1; 2; 4 ]
+
+let test_fork_join_correct () =
+  List.iter
+    (fun workers ->
+      exec_check "mm"
+        (Matmul.workload ~n:16 ~base:2 ~seed:41 ())
+        (Executor.run_fork_join ~workers) 1e-9;
+      exec_check "lu"
+        (Lu.workload ~n:16 ~base:2 ~seed:42 ())
+        (Executor.run_fork_join ~workers) 1e-8;
+      exec_check "fw1d"
+        (Fw1d.workload ~n:32 ~base:4 ~seed:43 ())
+        (Executor.run_fork_join ~workers) 0.)
+    [ 1; 2; 4 ]
+
+let test_repeated_runs () =
+  (* executors are restartable on the same program after reset *)
+  let w = Trs.workload ~n:16 ~base:4 ~seed:51 () in
+  let p = Workload.compile w in
+  for _ = 1 to 3 do
+    w.Workload.reset ();
+    Executor.run_dataflow ~workers:2 p;
+    Alcotest.(check bool) "correct" true (w.Workload.check () < 1e-8)
+  done
+
+let () =
+  Alcotest.run "nd_runtime"
+    [
+      ( "deque",
+        [
+          Alcotest.test_case "LIFO/FIFO" `Quick test_deque_lifo;
+          Alcotest.test_case "growth" `Quick test_deque_growth;
+          Alcotest.test_case "concurrent owner+thieves" `Quick
+            test_deque_concurrent;
+        ] );
+      ( "executors",
+        [
+          Alcotest.test_case "dataflow correct" `Quick test_dataflow_correct;
+          Alcotest.test_case "fork-join correct" `Quick test_fork_join_correct;
+          Alcotest.test_case "repeated runs" `Quick test_repeated_runs;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+module Pmh = Nd_pmh.Pmh
+module Sb = Nd_sched.Sb_sched
+module Ws = Nd_sched.Work_steal
+module Greedy = Nd_sched.Greedy
+open Nd_algos
+
+let small_machine ?(top = 1) () =
+  Pmh.create ~root_fanout:top
+    [
+      { Pmh.size = 64; fanout = 1; miss_cost = 2 };
+      { Pmh.size = 512; fanout = 2; miss_cost = 8 };
+      { Pmh.size = 4096; fanout = 2; miss_cost = 32 };
+    ]
+
+let workloads () =
+  [
+    ("mm", Workload.compile (Matmul.workload ~n:16 ~base:2 ~seed:1 ()));
+    ("trs", Workload.compile (Trs.workload ~n:16 ~base:2 ~seed:1 ()));
+    ("cholesky", Workload.compile (Cholesky.workload ~n:16 ~base:2 ~seed:1 ()));
+    ("lu", Workload.compile (Lu.workload ~n:16 ~base:2 ~seed:1 ()));
+    ("lcs", Workload.compile (Lcs.workload ~n:64 ~base:2 ~seed:1 ()));
+    ("fw1d", Workload.compile (Fw1d.workload ~n:64 ~base:2 ~seed:1 ()));
+    ("apsp", Workload.compile (Fw2d.workload ~n:16 ~base:2 ~seed:1 ()));
+  ]
+
+(* ----------------------------- greedy ------------------------------ *)
+
+let test_greedy_brent () =
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun procs ->
+          let s = Greedy.run ~procs p in
+          if s.Greedy.time > Greedy.brent_bound s then
+            Alcotest.failf "%s p=%d: %d > Brent %d" name procs s.Greedy.time
+              (Greedy.brent_bound s);
+          if s.Greedy.time < s.Greedy.span then
+            Alcotest.failf "%s: time below span" name;
+          if s.Greedy.time < (s.Greedy.work + procs - 1) / procs then
+            Alcotest.failf "%s: time below work/p" name)
+        [ 1; 2; 4; 16 ])
+    (workloads ())
+
+let test_greedy_serial_is_work () =
+  let _, p = List.hd (workloads ()) in
+  let s = Greedy.run ~procs:1 p in
+  Alcotest.(check int) "T_1 = work" s.Greedy.work s.Greedy.time
+
+(* ------------------------------- SB -------------------------------- *)
+
+let test_sb_completes_all () =
+  let machine = small_machine () in
+  List.iter
+    (fun (name, p) ->
+      let s = Sb.run p machine in
+      if s.Sb.time <= 0 then Alcotest.failf "%s: no time" name;
+      if s.Sb.busy < s.Sb.work then Alcotest.failf "%s: lost work" name)
+    (workloads ())
+
+let test_sb_theorem1 () =
+  (* misses at level j <= Q*(t; sigma * M_j) for every level, both modes *)
+  let machine = small_machine ~top:2 () in
+  let sigma = 1. /. 3. in
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun mode ->
+          let s = Sb.run ~sigma ~mode p machine in
+          for level = 1 to Pmh.n_levels machine do
+            let m =
+              max 1
+                (int_of_float (sigma *. float_of_int (Pmh.size machine ~level)))
+            in
+            let bound = Nd_mem.Pcc.q_star p ~m in
+            if s.Sb.misses.(level - 1) > bound then
+              Alcotest.failf "%s level %d: misses %d > Q* %d" name level
+                s.Sb.misses.(level - 1) bound
+          done)
+        [ Sb.Coarse; Sb.Fine ])
+    (workloads ())
+
+let test_sb_deterministic () =
+  let machine = small_machine () in
+  let _, p = List.nth (workloads ()) 1 in
+  let a = Sb.run p machine and b = Sb.run p machine in
+  Alcotest.(check int) "time" a.Sb.time b.Sb.time;
+  Alcotest.(check int) "anchors" a.Sb.n_anchors b.Sb.n_anchors
+
+let test_sb_serial_machine () =
+  (* a 1-processor flat machine runs serially: time = work + miss cost *)
+  let machine = Pmh.flat ~procs:1 ~m:64 ~miss_cost:3 in
+  let _, p = List.hd (workloads ()) in
+  let s = Sb.run p machine in
+  Alcotest.(check int) "serial time" (s.Sb.work + s.Sb.miss_cost) s.Sb.time
+
+let test_sb_misses_mode_invariant () =
+  (* the rho-model miss counts depend only on the decomposition, not on
+     readiness mode or the NP/ND distinction *)
+  let machine = small_machine () in
+  let w = Trs.workload ~n:16 ~base:2 ~seed:1 () in
+  let pnd = Workload.compile w in
+  let pnp = Workload.compile ~mode:Workload.NP w in
+  let a = Sb.run pnd machine and b = Sb.run pnp machine in
+  Alcotest.(check (array int)) "ND vs NP misses" a.Sb.misses b.Sb.misses
+
+let test_sb_nd_not_slower () =
+  (* the paper's claim at its crispest: with enough processors the ND
+     program schedules at least as fast as its NP projection *)
+  let machine = small_machine ~top:2 () in
+  List.iter
+    (fun (name, w) ->
+      let pnd = Workload.compile w in
+      let pnp = Workload.compile ~mode:Workload.NP w in
+      let tnd = (Sb.run pnd machine).Sb.time in
+      let tnp = (Sb.run pnp machine).Sb.time in
+      if tnd > tnp then Alcotest.failf "%s: ND %d slower than NP %d" name tnd tnp)
+    [
+      ("trs", Trs.workload ~n:32 ~base:2 ~seed:1 ());
+      ("lcs", Lcs.workload ~n:128 ~base:2 ~seed:1 ());
+      ("cholesky", Cholesky.workload ~n:32 ~base:2 ~seed:1 ());
+    ]
+
+let test_sb_fine_not_slower () =
+  (* fine-grained readiness only adds schedulable work *)
+  let machine = small_machine ~top:2 () in
+  List.iter
+    (fun (name, p) ->
+      let c = (Sb.run ~mode:Sb.Coarse p machine).Sb.time in
+      let f = (Sb.run ~mode:Sb.Fine p machine).Sb.time in
+      if f > c then Alcotest.failf "%s: fine %d > coarse %d" name f c)
+    (workloads ())
+
+let test_sb_lru_accounting () =
+  (* LRU accounting captures cross-task reuse the rho model gives up, so
+     its miss counts never exceed rho's at any level *)
+  let machine = small_machine () in
+  List.iter
+    (fun (name, p) ->
+      let rho = Sb.run p machine in
+      let lru = Sb.run ~accounting:Sb.Lru p machine in
+      for j = 0 to Pmh.n_levels machine - 1 do
+        if lru.Sb.misses.(j) > rho.Sb.misses.(j) then
+          Alcotest.failf "%s level %d: LRU %d > rho %d" name (j + 1)
+            lru.Sb.misses.(j) rho.Sb.misses.(j)
+      done)
+    (workloads ())
+
+(* --------------------------- work stealing ------------------------- *)
+
+let test_ws_completes () =
+  let machine = small_machine () in
+  List.iter
+    (fun (name, p) ->
+      let s = Ws.run p machine in
+      if s.Ws.time <= 0 then Alcotest.failf "%s: no time" name;
+      if s.Ws.busy < s.Ws.work then Alcotest.failf "%s: lost work" name)
+    (workloads ())
+
+let test_ws_deterministic_per_seed () =
+  let machine = small_machine () in
+  let _, p = List.nth (workloads ()) 4 in
+  let a = Ws.run ~seed:7 p machine and b = Ws.run ~seed:7 p machine in
+  Alcotest.(check int) "same seed, same time" a.Ws.time b.Ws.time
+
+let test_ws_single_proc_no_steals () =
+  let machine = Pmh.flat ~procs:1 ~m:64 ~miss_cost:3 in
+  let _, p = List.hd (workloads ()) in
+  let s = Ws.run p machine in
+  Alcotest.(check int) "no steals" 0 s.Ws.steals
+
+let () =
+  Alcotest.run "nd_sched"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "Brent bound" `Quick test_greedy_brent;
+          Alcotest.test_case "T_1 = work" `Quick test_greedy_serial_is_work;
+        ] );
+      ( "space_bounded",
+        [
+          Alcotest.test_case "completes all workloads" `Quick test_sb_completes_all;
+          Alcotest.test_case "Theorem 1 miss bound" `Quick test_sb_theorem1;
+          Alcotest.test_case "deterministic" `Quick test_sb_deterministic;
+          Alcotest.test_case "serial machine" `Quick test_sb_serial_machine;
+          Alcotest.test_case "misses model-invariant" `Quick
+            test_sb_misses_mode_invariant;
+          Alcotest.test_case "ND not slower than NP" `Quick test_sb_nd_not_slower;
+          Alcotest.test_case "fine not slower than coarse" `Quick
+            test_sb_fine_not_slower;
+          Alcotest.test_case "LRU accounting <= rho" `Quick
+            test_sb_lru_accounting;
+        ] );
+      ( "work_stealing",
+        [
+          Alcotest.test_case "completes" `Quick test_ws_completes;
+          Alcotest.test_case "seed-deterministic" `Quick
+            test_ws_deterministic_per_seed;
+          Alcotest.test_case "1 proc, 0 steals" `Quick test_ws_single_proc_no_steals;
+        ] );
+    ]

@@ -1,0 +1,279 @@
+module Is = Nd_util.Interval_set
+module Stats = Nd_util.Stats
+module Prng = Nd_util.Prng
+
+let check_is msg expected actual =
+  Alcotest.(check (list (pair int int))) msg expected (Is.intervals actual)
+
+(* ------------------------- interval sets ------------------------- *)
+
+let test_interval_basic () =
+  check_is "single" [ (3, 7) ] (Is.interval 3 7);
+  check_is "empty" [] (Is.interval 5 5);
+  check_is "singleton" [ (4, 5) ] (Is.singleton 4);
+  Alcotest.(check bool) "is_empty" true (Is.is_empty Is.empty);
+  Alcotest.check_raises "lo>hi" (Invalid_argument "Interval_set.interval: lo > hi")
+    (fun () -> ignore (Is.interval 7 3))
+
+let test_union () =
+  let a = Is.of_intervals [ (0, 5); (10, 15) ] in
+  let b = Is.of_intervals [ (3, 12); (20, 25) ] in
+  check_is "overlapping union" [ (0, 15); (20, 25) ] (Is.union a b);
+  check_is "adjacent coalesce" [ (0, 10) ]
+    (Is.union (Is.interval 0 5) (Is.interval 5 10));
+  check_is "union empty left" [ (1, 2) ] (Is.union Is.empty (Is.interval 1 2));
+  check_is "union empty right" [ (1, 2) ] (Is.union (Is.interval 1 2) Is.empty)
+
+let test_inter () =
+  let a = Is.of_intervals [ (0, 10); (20, 30) ] in
+  let b = Is.of_intervals [ (5, 25) ] in
+  check_is "inter" [ (5, 10); (20, 25) ] (Is.inter a b);
+  check_is "inter disjoint" [] (Is.inter (Is.interval 0 5) (Is.interval 5 10))
+
+let test_diff () =
+  let a = Is.of_intervals [ (0, 10) ] in
+  let b = Is.of_intervals [ (3, 5); (7, 20) ] in
+  check_is "diff splits" [ (0, 3); (5, 7) ] (Is.diff a b);
+  check_is "diff of empty" [] (Is.diff Is.empty a);
+  check_is "diff by empty" [ (0, 10) ] (Is.diff a Is.empty)
+
+let test_cardinal_mem () =
+  let a = Is.of_intervals [ (0, 3); (10, 14) ] in
+  Alcotest.(check int) "cardinal" 7 (Is.cardinal a);
+  Alcotest.(check bool) "mem 2" true (Is.mem 2 a);
+  Alcotest.(check bool) "mem 3" false (Is.mem 3 a);
+  Alcotest.(check bool) "mem 13" true (Is.mem 13 a)
+
+let test_overlaps () =
+  let a = Is.of_intervals [ (0, 5); (10, 15) ] in
+  Alcotest.(check bool) "yes" true (Is.overlaps a (Is.interval 14 20));
+  Alcotest.(check bool) "no" false (Is.overlaps a (Is.interval 5 10));
+  Alcotest.(check bool) "empty" false (Is.overlaps a Is.empty)
+
+let test_absorb () =
+  let acc = ref (Is.interval 0 10) in
+  let n1 = Is.absorb acc (Is.of_intervals [ (5, 15) ]) in
+  Alcotest.(check int) "first absorb" 5 n1;
+  let n2 = Is.absorb acc (Is.of_intervals [ (5, 15) ]) in
+  Alcotest.(check int) "second absorb is free" 0 n2;
+  Alcotest.(check int) "acc grew" 15 (Is.cardinal !acc)
+
+let test_normalize_random () =
+  (* union of random fragments equals the set built by of_intervals *)
+  let rng = Prng.create 42 in
+  for _ = 1 to 50 do
+    let frags =
+      List.init 20 (fun _ ->
+          let lo = Prng.int rng 100 in
+          (lo, lo + Prng.int rng 10))
+    in
+    let whole = Is.of_intervals frags in
+    let incremental =
+      List.fold_left
+        (fun acc (lo, hi) -> Is.union acc (Is.interval lo hi))
+        Is.empty frags
+    in
+    Alcotest.(check bool) "agree" true (Is.equal whole incremental);
+    (* membership agrees with the fragment definition *)
+    for x = 0 to 110 do
+      let expect = List.exists (fun (lo, hi) -> lo <= x && x < hi) frags in
+      if expect <> Is.mem x whole then Alcotest.fail "membership mismatch"
+    done
+  done
+
+(* qcheck properties *)
+
+let gen_set =
+  QCheck2.Gen.(
+    map
+      (fun l -> Is.of_intervals (List.map (fun (a, b) -> (a, a + b)) l))
+      (small_list (pair (int_bound 200) (int_bound 20))))
+
+let prop_union_cardinal =
+  QCheck2.Test.make ~name:"|a ∪ b| = |a| + |b| - |a ∩ b|" ~count:200
+    QCheck2.Gen.(pair gen_set gen_set)
+    (fun (a, b) ->
+      Is.cardinal (Is.union a b)
+      = Is.cardinal a + Is.cardinal b - Is.cardinal (Is.inter a b))
+
+let prop_diff_partition =
+  QCheck2.Test.make ~name:"a = (a-b) ⊎ (a∩b)" ~count:200
+    QCheck2.Gen.(pair gen_set gen_set)
+    (fun (a, b) ->
+      Is.equal a (Is.union (Is.diff a b) (Is.inter a b))
+      && Is.is_empty (Is.inter (Is.diff a b) b))
+
+let prop_overlaps_consistent =
+  QCheck2.Test.make ~name:"overlaps a b <=> inter nonempty" ~count:200
+    QCheck2.Gen.(pair gen_set gen_set)
+    (fun (a, b) -> Is.overlaps a b = not (Is.is_empty (Is.inter a b)))
+
+(* --------------------------- statistics --------------------------- *)
+
+let test_mean_stdev () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "stdev" 1. (Stats.stdev [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "stdev singleton" 0. (Stats.stdev [ 5. ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ])
+
+let test_linear_fit () =
+  let xs = [ 1.; 2.; 3.; 4. ] in
+  let ys = List.map (fun x -> (3. *. x) +. 1.) xs in
+  let slope, intercept, r2 = Stats.linear_fit xs ys in
+  Alcotest.(check (float 1e-9)) "slope" 3. slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1. intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1. r2
+
+let test_power_fit () =
+  let xs = [ 2.; 4.; 8.; 16.; 32. ] in
+  let ys = List.map (fun x -> 5. *. (x ** 1.5)) xs in
+  let e, c, r2 = Stats.power_fit xs ys in
+  Alcotest.(check (float 1e-6)) "exponent" 1.5 e;
+  Alcotest.(check (float 1e-6)) "constant" 5. c;
+  Alcotest.(check (float 1e-6)) "r2" 1. r2
+
+let test_ratio_trend () =
+  let xs = [ 1.; 2.; 4. ] in
+  let ys = [ 2.; 4.; 8. ] in
+  let r = Stats.ratio_trend xs ys (fun x -> x) in
+  Alcotest.(check (list (float 1e-9))) "flat" [ 2.; 2.; 2. ] r;
+  Alcotest.(check (float 1e-9)) "spread" 1. (Stats.spread r)
+
+(* ----------------------------- prng ------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds";
+    let f = Prng.float rng in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of bounds"
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound <= 0")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_split () =
+  let rng = Prng.create 3 in
+  let child = Prng.split rng in
+  (* parent and child produce different streams *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next rng = Prng.next child then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_prng_uniformity () =
+  let rng = Prng.create 99 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let b = Prng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if abs (c - (n / 10)) > n / 20 then Alcotest.fail "bucket far from uniform")
+    buckets
+
+(* ----------------------------- heap ------------------------------ *)
+
+module Heap = Nd_util.Heap
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (10 * k)) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check int) "peek" 1 (Heap.peek_key h);
+  let keys = List.init 5 (fun _ -> fst (Heap.pop h)) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5 ] keys;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  (match Heap.pop h with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "pop of empty")
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 7 v) [ 1; 2; 3 ];
+  let vals = List.init 3 (fun _ -> snd (Heap.pop h)) in
+  Alcotest.(check (list int)) "FIFO on equal keys" [ 1; 2; 3 ] vals
+
+let test_heap_random () =
+  let rng = Prng.create 77 in
+  let h = Heap.create () in
+  let reference = ref [] in
+  for _ = 1 to 500 do
+    let k = Prng.int rng 100 in
+    Heap.push h k k;
+    reference := k :: !reference
+  done;
+  let sorted = List.sort compare !reference in
+  let popped = List.init 500 (fun _ -> fst (Heap.pop h)) in
+  Alcotest.(check (list int)) "heapsort" sorted popped
+
+(* ----------------------------- table ----------------------------- *)
+
+let test_table () =
+  let t = Nd_util.Table.create ~title:"demo" [ "a"; "bb" ] in
+  Nd_util.Table.add_row t [ "1"; "2"; "3" ];
+  Nd_util.Table.add_row t [ "x" ];
+  let s = Nd_util.Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  (* all rendered rows share the same width *)
+  let lines = String.split_on_char '\n' s in
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 then Some (String.length l) else None)
+      (List.tl lines)
+  in
+  match widths with
+  | [] -> Alcotest.fail "no lines"
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_union_cardinal; prop_diff_partition; prop_overlaps_consistent ]
+  in
+  Alcotest.run "nd_util"
+    [
+      ( "interval_set",
+        [
+          Alcotest.test_case "basic" `Quick test_interval_basic;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "inter" `Quick test_inter;
+          Alcotest.test_case "diff" `Quick test_diff;
+          Alcotest.test_case "cardinal/mem" `Quick test_cardinal_mem;
+          Alcotest.test_case "overlaps" `Quick test_overlaps;
+          Alcotest.test_case "absorb" `Quick test_absorb;
+          Alcotest.test_case "randomized agreement" `Quick test_normalize_random;
+        ] );
+      ("interval_set.properties", qsuite);
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stdev/geomean" `Quick test_mean_stdev;
+          Alcotest.test_case "linear_fit" `Quick test_linear_fit;
+          Alcotest.test_case "power_fit" `Quick test_power_fit;
+          Alcotest.test_case "ratio_trend" `Quick test_ratio_trend;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_order;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "randomized heapsort" `Quick test_heap_random;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table ]);
+    ]
