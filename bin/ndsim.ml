@@ -31,6 +31,30 @@ let build_workload algo n base seed =
 
 let mode_of np = if np then Workload.NP else Workload.ND
 
+let sim_machine top =
+  Pmh.create ~root_fanout:top
+    [
+      { Pmh.size = 64; fanout = 1; miss_cost = 2 };
+      { Pmh.size = 512; fanout = 4; miss_cost = 8 };
+      { Pmh.size = 4096; fanout = 4; miss_cost = 32 };
+    ]
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Also record a trace and write it as Chrome trace_event JSON.")
+
+let finish_trace tracer out =
+  match Nd_trace.Chrome.write_file tracer out with
+  | () ->
+      Format.printf "trace: wrote %s (%d events%s)@." out
+        (List.length (Nd_trace.Collector.events tracer))
+        (let d = Nd_trace.Collector.dropped tracer in
+         if d > 0 then Printf.sprintf ", %d dropped" d else "")
+  | exception Sys_error msg ->
+      Format.eprintf "trace: cannot write %s: %s@." out msg;
+      exit 2
+
 (* ------------------------------ span ------------------------------- *)
 
 let span_cmd =
@@ -106,46 +130,52 @@ let sb_cmd =
   let fine_arg =
     Arg.(value & flag & info [ "fine" ] ~doc:"Fine-grained cross-anchor readiness (E7 ablation).")
   in
-  let run algo n base seed np top fine =
+  let run algo n base seed np top fine trace_out =
     let w = build_workload algo n base seed in
     let p = Workload.compile ~mode:(mode_of np) w in
-    let machine =
-      Pmh.create ~root_fanout:top
-        [
-          { Pmh.size = 64; fanout = 1; miss_cost = 2 };
-          { Pmh.size = 512; fanout = 4; miss_cost = 8 };
-          { Pmh.size = 4096; fanout = 4; miss_cost = 32 };
-        ]
+    let machine = sim_machine top in
+    let tracer =
+      match trace_out with
+      | None -> Nd_trace.Collector.null
+      | Some _ -> Nd_trace.Collector.create ~workers:(Pmh.n_procs machine) ()
     in
     let mode = if fine then Nd_sched.Sb_sched.Fine else Nd_sched.Sb_sched.Coarse in
     Format.printf "machine: %s@." (Pmh.describe machine);
-    let s = Nd_sched.Sb_sched.run ~mode p machine in
+    let s = Nd_sched.Sb_sched.run ~mode ~tracer p machine in
     Format.printf "SB(%s,%s): %a@."
       (Workload.mode_name (mode_of np))
       (if fine then "fine" else "coarse")
-      Nd_sched.Sb_sched.pp_stats s
+      Nd_sched.Sb_sched.pp_stats s;
+    Option.iter (finish_trace tracer) trace_out
   in
   Cmd.v
     (Cmd.info "sb" ~doc:"Simulate the space-bounded scheduler on a PMH.")
-    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg $ top_arg $ fine_arg)
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg $ top_arg
+          $ fine_arg $ trace_out_arg)
 
 (* ------------------------------ check ------------------------------ *)
 
 let check_cmd =
-  let run algo n base seed np =
+  let run algo n base seed np trace_out =
     let w = build_workload algo n base seed in
     let p = Workload.compile ~mode:(mode_of np) w in
+    let tracer =
+      match trace_out with
+      | None -> Nd_trace.Collector.null
+      | Some _ -> Nd_trace.Collector.create ~workers:1 ()
+    in
     w.Workload.reset ();
-    Nd.Serial_exec.run ~rng:(Nd_util.Prng.create (seed + 1)) p;
+    Nd.Serial_exec.run ~rng:(Nd_util.Prng.create (seed + 1)) ~tracer p;
     let err = w.Workload.check () in
     Format.printf "%s n=%d: randomized-order execution error = %g@."
       w.Workload.name w.Workload.n err;
+    Option.iter (finish_trace tracer) trace_out;
     if err > 1e-6 then exit 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Execute in a randomized dependency order and compare with the serial reference.")
-    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg)
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg $ trace_out_arg)
 
 (* ------------------------------- drs ------------------------------- *)
 
@@ -183,6 +213,105 @@ let drs_cmd =
     (Cmd.info "drs" ~doc:"Show the DRS on the paper's MAIN/F/G example (Figures 3-4).")
     Term.(const run $ const ())
 
+(* ------------------------------ trace ------------------------------- *)
+
+let trace_cmd =
+  let sched_arg =
+    Arg.(value & opt string "sb"
+         & info [ "sched" ] ~docv:"SCHED"
+             ~doc:"Execution path to trace: $(b,sb), $(b,ws), $(b,serial), \
+                   $(b,dataflow) or $(b,forkjoin).")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Output file for the Chrome trace_event JSON (load in \
+                   chrome://tracing or ui.perfetto.dev).")
+  in
+  let top_arg =
+    Arg.(value & opt int 1 & info [ "top" ] ~docv:"K" ~doc:"Top-level cache count (procs = 16K).")
+  in
+  let fine_arg =
+    Arg.(value & flag & info [ "fine" ] ~doc:"Fine-grained cross-anchor readiness (SB only).")
+  in
+  let workers_arg =
+    Arg.(value & opt (some int) None
+         & info [ "workers"; "w" ] ~docv:"W"
+             ~doc:"Worker domains for the real executors (dataflow/forkjoin).")
+  in
+  let run algo n base seed np sched top fine workers out =
+    let w = build_workload algo n base seed in
+    let p = Workload.compile ~mode:(mode_of np) w in
+    let dag = Nd.Program.dag p in
+    let machine = sim_machine top in
+    let sb_mode =
+      if fine then Nd_sched.Sb_sched.Fine else Nd_sched.Sb_sched.Coarse
+    in
+    let tracer, vertex_granular =
+      match sched with
+      | "serial" ->
+        let t = Nd_trace.Collector.create ~workers:1 () in
+        w.Workload.reset ();
+        Nd.Serial_exec.run ~tracer:t p;
+        (t, true)
+      | "sb" ->
+        let t = Nd_trace.Collector.create ~workers:(Pmh.n_procs machine) () in
+        Format.printf "machine: %s@." (Pmh.describe machine);
+        let s = Nd_sched.Sb_sched.run ~mode:sb_mode ~tracer:t p machine in
+        Format.printf "SB: %a@." Nd_sched.Sb_sched.pp_stats s;
+        (t, false)
+      | "ws" ->
+        let t = Nd_trace.Collector.create ~workers:(Pmh.n_procs machine) () in
+        Format.printf "machine: %s@." (Pmh.describe machine);
+        let s = Nd_sched.Work_steal.run ~seed ~tracer:t p machine in
+        Format.printf "WS: %a@." Nd_sched.Work_steal.pp_stats s;
+        (t, true)
+      | "dataflow" ->
+        let nw =
+          match workers with
+          | Some w -> max 1 w
+          | None -> Nd_runtime.Executor.default_workers ()
+        in
+        let t = Nd_trace.Collector.wallclock ~workers:nw () in
+        w.Workload.reset ();
+        Nd_runtime.Executor.run_dataflow ~workers:nw ~tracer:t p;
+        Format.printf "dataflow: workers=%d max err=%g@." nw (w.Workload.check ());
+        (t, true)
+      | "forkjoin" ->
+        let nw =
+          match workers with
+          | Some w -> max 1 w
+          | None -> Nd_runtime.Executor.default_workers ()
+        in
+        let t = Nd_trace.Collector.wallclock ~workers:nw () in
+        w.Workload.reset ();
+        Nd_runtime.Executor.run_fork_join ~workers:nw ~tracer:t p;
+        Format.printf "forkjoin: workers=%d max err=%g@." nw (w.Workload.check ());
+        (t, false)
+      | other ->
+        Format.eprintf "unknown scheduler %s (want sb|ws|serial|dataflow|forkjoin)@." other;
+        exit 2
+    in
+    finish_trace tracer out;
+    print_string (Nd_trace.Summary.to_string tracer);
+    if vertex_granular then begin
+      let cp = Nd_trace.Analyzer.critical_path tracer dag in
+      let span = (Nd.Analysis.analyze p).Nd.Analysis.span in
+      let traced, total = Nd_trace.Analyzer.coverage tracer dag in
+      Format.printf
+        "trace-derived critical path = %d; analysis ND span = %d (%s, strand coverage %d/%d)@."
+        cp span
+        (if cp = span then "match" else "MISMATCH")
+        traced total
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record a structured trace of a scheduler run and export it as \
+             Chrome trace_event JSON plus a per-worker summary.")
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg
+          $ sched_arg $ top_arg $ fine_arg $ workers_arg $ out_arg)
+
 (* --------------------------- experiments ---------------------------- *)
 
 let experiments_cmd =
@@ -203,10 +332,48 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiment suite.")
     Term.(const run $ which)
 
+(* ------------------------------ suite ------------------------------- *)
+
+let suite_cmd =
+  let which =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e9); all when omitted.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"DIR"
+             ~doc:"Also write one machine-readable JSON file per experiment into DIR.")
+  in
+  let run which json =
+    let known name = List.mem_assoc name Nd_experiments.Suite.all in
+    match (which, json) with
+    | Some name, _ when not (known name) ->
+      Format.eprintf "unknown experiment %s@." name;
+      exit 2
+    | Some name, None -> Nd_experiments.Suite.run name
+    | Some name, Some dir -> (
+      try Nd_experiments.Suite.run_json ~dir name
+      with Sys_error msg | Unix.Unix_error (Unix.ENOENT, _, msg) ->
+        Format.eprintf "suite: cannot write into %s: %s@." dir msg;
+        exit 2)
+    | None, None -> Nd_experiments.Suite.run_all ()
+    | None, Some dir -> (
+      try Nd_experiments.Suite.run_all_json ~dir
+      with Sys_error msg | Unix.Unix_error (Unix.ENOENT, _, msg) ->
+        Format.eprintf "suite: cannot write into %s: %s@." dir msg;
+        exit 2)
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Run the experiment suite, optionally emitting machine-readable \
+             JSON (one file per experiment).")
+    Term.(const run $ which $ json_arg)
+
 let () =
   let doc = "Nested Dataflow model: analysis, simulation and experiments" in
   let info = Cmd.info "ndsim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ span_cmd; race_cmd; sb_cmd; check_cmd; drs_cmd; experiments_cmd ]))
+          [ span_cmd; race_cmd; sb_cmd; check_cmd; drs_cmd; trace_cmd;
+            experiments_cmd; suite_cmd ]))

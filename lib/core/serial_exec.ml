@@ -7,9 +7,12 @@ let act program v =
     | Program.Leaf s -> ( match s.Strand.action with Some f -> f () | None -> ())
     | Program.Seq | Program.Par | Program.Fire _ -> ()
 
-let run ?rng program =
+let run ?rng ?(tracer = Nd_trace.Collector.null) program =
   let dag = Program.dag program in
   let n = Dag.n_vertices dag in
+  let traced = Nd_trace.Collector.enabled tracer in
+  (* virtual clock for the trace: cumulative work executed so far *)
+  let vclock = ref 0 in
   let indeg = Array.make n 0 in
   for v = 0 to n - 1 do
     indeg.(v) <- List.length (Dag.preds dag v)
@@ -34,12 +37,31 @@ let run ?rng program =
     let v = ready.(i) in
     ready.(i) <- ready.(!n_ready - 1);
     decr n_ready;
+    if traced then begin
+      let work = Dag.work_of dag v in
+      if work > 0 then
+        Nd_trace.Collector.emit tracer ~worker:0 ~ts:!vclock
+          (Nd_trace.Event.Strand_begin
+             { vertex = v; work; label = Dag.label dag v })
+    end;
     act program v;
+    if traced then begin
+      let work = Dag.work_of dag v in
+      vclock := !vclock + work;
+      if work > 0 then
+        Nd_trace.Collector.emit tracer ~worker:0 ~ts:!vclock
+          (Nd_trace.Event.Strand_end { vertex = v })
+    end;
     incr executed;
     List.iter
       (fun w ->
         indeg.(w) <- indeg.(w) - 1;
-        if indeg.(w) = 0 then push w)
+        if indeg.(w) = 0 then begin
+          push w;
+          if traced then
+            Nd_trace.Collector.emit tracer ~worker:0 ~ts:!vclock
+              (Nd_trace.Event.Fire { target = w; level = 0 })
+        end)
       (Dag.succs dag v)
   done;
   if !executed < n then begin

@@ -6,9 +6,12 @@
     checks that a fire-rule set carries {e enough} dependencies: a race-free
     DAG must produce identical results under every topological order. *)
 
-(** [run ?rng program] executes strand actions in a (possibly randomized)
-    topological order.  @raise Nd_dag.Dag.Cycle on a cyclic DAG. *)
-val run : ?rng:Nd_util.Prng.t -> Program.t -> unit
+(** [run ?rng ?tracer program] executes strand actions in a (possibly
+    randomized) topological order.  With [tracer], emits strand
+    begin/end and fire events on worker 0 against a virtual clock that
+    advances by each vertex's work.
+    @raise Nd_dag.Dag.Cycle on a cyclic DAG. *)
+val run : ?rng:Nd_util.Prng.t -> ?tracer:Nd_trace.Collector.t -> Program.t -> unit
 
 (** [run_sequential program] executes strand actions in the depth-first
     (left-to-right) order of the spawn tree — the serial elision.  Ignores

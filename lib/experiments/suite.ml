@@ -402,20 +402,37 @@ let overview () =
   Table.print t;
   t
 
-let experiments =
+let all =
   [
-    ("overview", fun () -> ignore (overview ()));
-    ("e1", fun () -> ignore (e1_span ()));
-    ("e2", fun () -> ignore (e2_pcc ()));
-    ("e3", fun () -> ignore (e3_misses ()));
-    ("e4", fun () -> ignore (e4_scaling ()));
-    ("e5", fun () -> ignore (e5_alpha ()));
-    ("e6", fun () -> ignore (e6_work_stealing ()));
-    ("e7", fun () -> ignore (e7_ablation ()));
-    ("e8", fun () -> ignore (e8_rules ()));
-    ("e9", fun () -> ignore (e9_runtime ()));
+    ("overview", overview);
+    ("e1", e1_span);
+    ("e2", e2_pcc);
+    ("e3", e3_misses);
+    ("e4", e4_scaling);
+    ("e5", e5_alpha);
+    ("e6", e6_work_stealing);
+    ("e7", e7_ablation);
+    ("e8", e8_rules);
+    ("e9", e9_runtime);
   ]
 
-let run name = (List.assoc name experiments) ()
+let run name = ignore ((List.assoc name all) ())
 
-let run_all () = List.iter (fun (_, f) -> f ()) experiments
+let run_all () = List.iter (fun (_, f) -> ignore (f ())) all
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Suite: %s exists and is not a directory" dir)
+
+let run_json ~dir name =
+  ensure_dir dir;
+  let t = (List.assoc name all) () in
+  Table.write_json t (Filename.concat dir (name ^ ".json"))
+
+let run_all_json ~dir =
+  ensure_dir dir;
+  List.iter
+    (fun (name, f) ->
+      Table.write_json (f ()) (Filename.concat dir (name ^ ".json")))
+    all

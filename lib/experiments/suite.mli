@@ -43,9 +43,23 @@ val e9_runtime : unit -> Nd_util.Table.t
     the default sizes. *)
 val overview : unit -> Nd_util.Table.t
 
+(** The experiments by name, in harness order
+    (["overview"; "e1" ... "e9"]). *)
+val all : (string * (unit -> Nd_util.Table.t)) list
+
 (** [run_all ()] — every experiment in order (the full harness). *)
 val run_all : unit -> unit
 
 (** [run name] — run one of ["overview"; "e1"..."e9"].
     @raise Not_found on an unknown name. *)
 val run : string -> unit
+
+(** [run_json ~dir name] — run one experiment (still printing its table)
+    and additionally write [dir/<name>.json] in the
+    {!Nd_util.Table.to_json} format.  Creates [dir] if missing.
+    @raise Not_found on an unknown name. *)
+val run_json : dir:string -> string -> unit
+
+(** [run_all_json ~dir] — {!run_all}, writing one JSON file per
+    experiment. *)
+val run_all_json : dir:string -> unit

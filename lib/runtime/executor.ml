@@ -1,7 +1,20 @@
 module Dag = Nd_dag.Dag
+module Trace = Nd_trace.Collector
 open Nd
 
 let default_workers () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* capped exponential backoff for idle spin loops: after 64 failed
+   sweeps, pause for a doubling number of cpu_relax hints (up to 512) so
+   1-worker and oversubscribed runs stop burning a full core *)
+let backoff spin =
+  incr spin;
+  if !spin > 64 then begin
+    let n = min 512 (1 lsl min 9 (!spin / 64)) in
+    for _ = 1 to n do
+      Domain.cpu_relax ()
+    done
+  end
 
 (* ------------------------- dataflow executor ----------------------- *)
 
@@ -12,8 +25,9 @@ let act program v =
     | Program.Leaf s -> ( match s.Strand.action with Some f -> f () | None -> ())
     | Program.Seq | Program.Par | Program.Fire _ -> ()
 
-let run_dataflow ?workers program =
+let run_dataflow ?workers ?(tracer = Trace.null) program =
   let nw = match workers with Some w -> max 1 w | None -> default_workers () in
+  let traced = Trace.enabled tracer in
   let dag = Program.dag program in
   let nv = Dag.n_vertices dag in
   let indeg = Array.init nv (fun v -> Atomic.make (List.length (Dag.preds dag v))) in
@@ -27,12 +41,26 @@ let run_dataflow ?workers program =
       incr seed_slot
     end
   done;
+  if traced then Trace.emit_now tracer ~worker:0 (Nd_trace.Event.Spawn { count = !seed_slot });
   let exec wid v =
+    if traced then begin
+      let work = Dag.work_of dag v in
+      if work > 0 then
+        Trace.emit_now tracer ~worker:wid
+          (Nd_trace.Event.Strand_begin { vertex = v; work; label = Dag.label dag v })
+    end;
     act program v;
+    if traced && Dag.work_of dag v > 0 then
+      Trace.emit_now tracer ~worker:wid (Nd_trace.Event.Strand_end { vertex = v });
     Atomic.decr remaining;
     List.iter
       (fun s ->
-        if Atomic.fetch_and_add indeg.(s) (-1) = 1 then Deque.push deques.(wid) s)
+        if Atomic.fetch_and_add indeg.(s) (-1) = 1 then begin
+          Deque.push deques.(wid) s;
+          if traced then
+            Trace.emit_now tracer ~worker:wid
+              (Nd_trace.Event.Fire { target = s; level = 0 })
+        end)
       (Dag.succs dag v)
   in
   let worker wid () =
@@ -49,6 +77,10 @@ let run_dataflow ?workers program =
           (match Deque.steal deques.((wid + !i) mod nw) with
           | Some v ->
             stolen := true;
+            if traced then
+              Trace.emit_now tracer ~worker:wid
+                (Nd_trace.Event.Steal_success
+                   { victim = (wid + !i) mod nw; vertex = v });
             spin := 0;
             exec wid v
           | None -> ());
@@ -56,6 +88,10 @@ let run_dataflow ?workers program =
         done;
         if not !stolen then begin
           incr spin;
+          (* record only the idle-period start, not every failed sweep *)
+          if traced && !spin = 1 then
+            Trace.emit_now tracer ~worker:wid
+              (Nd_trace.Event.Steal_attempt { victim = -1 });
           if !spin > 64 then Domain.cpu_relax ()
         end
     done
@@ -73,6 +109,8 @@ type ctx = {
   deques : job Deque.t array;
   nw : int;
   finished : bool Atomic.t;
+  tracer : Trace.t;
+  traced : bool;
 }
 
 let help ctx wid =
@@ -85,8 +123,12 @@ let help ctx wid =
     let rec try_steal i =
       if i >= ctx.nw then false
       else
-        match Deque.steal ctx.deques.((wid + i) mod ctx.nw) with
+        let victim = (wid + i) mod ctx.nw in
+        match Deque.steal ctx.deques.(victim) with
         | Some j ->
+          if ctx.traced then
+            Trace.emit_now ctx.tracer ~worker:wid
+              (Nd_trace.Event.Steal_success { victim; vertex = -1 });
           j.work wid;
           Atomic.set j.completed true;
           true
@@ -96,7 +138,15 @@ let help ctx wid =
 
 let rec exec_tree ctx wid tree =
   match tree with
-  | Spawn_tree.Leaf s -> ( match s.Strand.action with Some f -> f () | None -> ())
+  | Spawn_tree.Leaf s ->
+    if ctx.traced && s.Strand.work > 0 then
+      Trace.emit_now ctx.tracer ~worker:wid
+        (Nd_trace.Event.Strand_begin
+           { vertex = -1; work = s.Strand.work; label = s.Strand.label });
+    (match s.Strand.action with Some f -> f () | None -> ());
+    if ctx.traced && s.Strand.work > 0 then
+      Trace.emit_now ctx.tracer ~worker:wid
+        (Nd_trace.Event.Strand_end { vertex = -1 })
   | Spawn_tree.Seq l -> List.iter (exec_tree ctx wid) l
   | Spawn_tree.Fire { src; snk; _ } ->
     (* NP projection: serial composition *)
@@ -114,27 +164,46 @@ let rec exec_tree ctx wid tree =
           j)
         rest
     in
+    if ctx.traced && rest <> [] then
+      Trace.emit_now ctx.tracer ~worker:wid
+        (Nd_trace.Event.Spawn { count = List.length rest });
     exec_tree ctx wid first;
     List.iter
       (fun j ->
         (* help-first join: run other work while waiting *)
+        let spin = ref 0 in
         while not (Atomic.get j.completed) do
-          if not (help ctx wid) then Domain.cpu_relax ()
+          if help ctx wid then spin := 0
+          else begin
+            if ctx.traced && !spin = 0 then
+              Trace.emit_now ctx.tracer ~worker:wid
+                (Nd_trace.Event.Steal_attempt { victim = -1 });
+            backoff spin
+          end
         done)
       jobs
 
-let run_fork_join ?workers program =
+let run_fork_join ?workers ?(tracer = Trace.null) program =
   let nw = match workers with Some w -> max 1 w | None -> default_workers () in
   let ctx =
     {
       deques = Array.init nw (fun _ -> Deque.create ());
       nw;
       finished = Atomic.make false;
+      tracer;
+      traced = Trace.enabled tracer;
     }
   in
   let helper wid () =
+    let spin = ref 0 in
     while not (Atomic.get ctx.finished) do
-      if not (help ctx wid) then Domain.cpu_relax ()
+      if help ctx wid then spin := 0
+      else begin
+        if ctx.traced && !spin = 0 then
+          Trace.emit_now ctx.tracer ~worker:wid
+            (Nd_trace.Event.Steal_attempt { victim = -1 });
+        backoff spin
+      end
     done
   in
   let domains = List.init (nw - 1) (fun i -> Domain.spawn (helper (i + 1))) in

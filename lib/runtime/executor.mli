@@ -15,16 +15,25 @@
     (verified by {!Nd_dag.Race} in the test suite); then every execution
     computes the same result as {!Nd.Serial_exec.run}. *)
 
-(** [run_dataflow ?workers program] executes all strand actions in
-    dependency order on [workers] domains (default:
-    [Domain.recommended_domain_count], capped at 8). *)
-val run_dataflow : ?workers:int -> Nd.Program.t -> unit
+(** [run_dataflow ?workers ?tracer program] executes all strand actions
+    in dependency order on [workers] domains (default:
+    [Domain.recommended_domain_count], capped at 8).  With [tracer]
+    (use {!Nd_trace.Collector.wallclock} with [~workers:nw] rings),
+    emits strand begin/end, fire, spawn and steal events at wall-clock
+    nanosecond timestamps; each domain writes only its own ring, so
+    tracing needs no synchronization and the untraced path costs one
+    branch per instrumentation point. *)
+val run_dataflow :
+  ?workers:int -> ?tracer:Nd_trace.Collector.t -> Nd.Program.t -> unit
 
-(** [run_fork_join ?workers program] executes the NP projection of the
-    spawn tree with nested fork–join parallelism.  The fire constructs
-    are treated as serial compositions, so this is exactly the paper's
-    NP baseline executed for real. *)
-val run_fork_join : ?workers:int -> Nd.Program.t -> unit
+(** [run_fork_join ?workers ?tracer program] executes the NP projection
+    of the spawn tree with nested fork–join parallelism.  The fire
+    constructs are treated as serial compositions, so this is exactly
+    the paper's NP baseline executed for real.  Strand events carry
+    [vertex = -1] (the executor walks the tree, not the DAG); idle
+    workers back off with capped exponential [cpu_relax] pauses. *)
+val run_fork_join :
+  ?workers:int -> ?tracer:Nd_trace.Collector.t -> Nd.Program.t -> unit
 
 (** [default_workers ()] — the worker count used when [?workers] is
     omitted. *)

@@ -40,8 +40,12 @@ let pp_stats ppf s =
     (String.concat ";" (Array.to_list (Array.map string_of_int s.misses)))
 
 let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
-    ?(alloc_alpha = 1.) program machine =
+    ?(alloc_alpha = 1.) ?(tracer = Nd_trace.Collector.null) program machine =
   let dag = Program.dag program in
+  let traced = Nd_trace.Collector.enabled tracer in
+  (* trace context: the processor whose heap event is being handled (the
+     simulation is single-threaded, so one ref is enough) *)
+  let cur_proc = ref 0 in
   let h = Pmh.n_levels machine in
   let n_procs = Pmh.n_procs machine in
   let m_of = Array.init h (fun i ->
@@ -281,6 +285,9 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
       end
     done
   in
+  let emit kind =
+    Nd_trace.Collector.emit tracer ~worker:!cur_proc ~ts:!now kind
+  in
   let anchor_of_parent j tv =
     (* the anchor in whose queue a level-j task is scheduled *)
     if j = h then Some root
@@ -292,6 +299,7 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
       | Some a ->
         state.(j - 1).(tv) <- Queued;
         Queue.push tv a.a_queue;
+        if traced then emit (Nd_trace.Event.Fire { target = tv; level = j });
         wake_all ()
       | None -> ()
   in
@@ -310,7 +318,12 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
   let release_anchor a =
     free_space.(a.a_level - 1).(a.a_cache) <-
       free_space.(a.a_level - 1).(a.a_cache) + task_size a.a_level a.a_task;
-    List.iter (fun c -> owner.(a.a_level - 2).(c) <- None) a.a_subclusters
+    List.iter (fun c -> owner.(a.a_level - 2).(c) <- None) a.a_subclusters;
+    if traced then
+      emit
+        (Nd_trace.Event.Anchor_release
+           { level = a.a_level; cache = a.a_cache; task = a.a_task;
+             size = task_size a.a_level a.a_task })
   in
   let task_done j ti =
     Hashtbl.remove visited (j, ti);
@@ -409,6 +422,10 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
         List.iter (fun c -> owner.(l - 2).(c) <- Some a) subclusters;
         anchor_at.(l).(ti') <- Some a;
         incr n_anchors;
+        if traced then
+          emit
+            (Nd_trace.Event.Anchor_create
+               { level = l; cache; task = ti'; size });
         (* enqueue already-ready children *)
         List.iter
           (fun child ->
@@ -502,10 +519,13 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
   while not (Heap.is_empty events) do
     let t, p = Heap.pop events in
     now := t;
+    cur_proc := p;
     if t > !makespan && running.(p) >= 0 then makespan := t;
     if running.(p) >= 0 then begin
       let a = running.(p) in
       running.(p) <- (-1);
+      if traced then
+        emit (Nd_trace.Event.Strand_end { vertex = task_node 1 a });
       complete_atom a
     end;
     if not idle.(p) then
@@ -514,12 +534,33 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
         (* the node is also a level-1 task: execute it serially *)
         let a1 = ton 1 (task_node _level tv) in
         state.(0).(a1) <- Active;
+        let m0 = if traced then Array.copy misses else [||] in
         let d =
           max 1
             (match accounting with
             | Rho -> atom_cost a1
             | Lru -> atom_cost_lru p a1)
         in
+        if traced then begin
+          let node = task_node 1 a1 in
+          let label =
+            match Program.kind_of program node with
+            | Program.Leaf s -> s.Strand.label
+            | Program.Seq | Program.Par | Program.Fire _ ->
+              Printf.sprintf "task:%d" node
+          in
+          emit
+            (Nd_trace.Event.Strand_begin
+               { vertex = node; work = Program.work_of_node program node; label });
+          for j = 1 to h do
+            let dm = misses.(j - 1) - m0.(j - 1) in
+            if dm > 0 then
+              emit
+                (Nd_trace.Event.Cache_miss
+                   { level = j; count = dm;
+                     cost = dm * Pmh.miss_cost machine ~level:j })
+          done
+        end;
         running.(p) <- a1;
         busy := !busy + d;
         Heap.push events (t + d) p

@@ -47,9 +47,17 @@ type stats = {
 
 exception Deadlock of string
 
-(** [run ?sigma ?mode ?alloc_alpha program machine] simulates and returns
-    the stats.  [sigma] defaults to 1/3 (Lemma 6); [alloc_alpha] is the
-    α' of the allocation function (default 1).
+(** [run ?sigma ?mode ?alloc_alpha ?tracer program machine] simulates and
+    returns the stats.  [sigma] defaults to 1/3 (Lemma 6); [alloc_alpha]
+    is the α' of the allocation function (default 1).
+
+    With [tracer] (one ring per simulated processor), the run emits:
+    strand begin/end per executed level-1 task (the [vertex] field holds
+    the spawn-tree node id), anchor create/release with level, cache,
+    task and size, fire events when a task's last dependency is
+    satisfied ([level] = decomposition level), and per-level cache-miss
+    deltas.  Tracing is purely observational: stats are identical with
+    and without it.
     @raise Deadlock if the dependency structure cannot make progress
     (indicates a cyclic or unsatisfiable rule set). *)
 val run :
@@ -57,6 +65,7 @@ val run :
   ?mode:mode ->
   ?accounting:accounting ->
   ?alloc_alpha:float ->
+  ?tracer:Nd_trace.Collector.t ->
   Nd.Program.t ->
   Nd_pmh.Pmh.t ->
   stats

@@ -62,12 +62,14 @@ let deque_steal_top d =
     Some v
   end
 
-let run ?(seed = 0x5eed) ?(steal_cost = 2) program machine =
+let run ?(seed = 0x5eed) ?(steal_cost = 2)
+    ?(tracer = Nd_trace.Collector.null) program machine =
   let dag = Program.dag program in
   let nv = Dag.n_vertices dag in
   let h = Pmh.n_levels machine in
   let n_procs = Pmh.n_procs machine in
   let rng = Prng.create seed in
+  let traced = Nd_trace.Collector.enabled tracer in
   (* one inclusive LRU per cache instance *)
   let caches =
     Array.init h (fun i ->
@@ -127,6 +129,9 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2) program machine =
         indeg.(w) <- indeg.(w) - 1;
         if indeg.(w) = 0 then begin
           deque_push_bot deques.(p) w;
+          if traced then
+            Nd_trace.Collector.emit tracer ~worker:p ~ts:!now
+              (Nd_trace.Event.Fire { target = w; level = 0 });
           wake_all ()
         end)
       (Dag.succs dag v)
@@ -142,6 +147,9 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2) program machine =
       let v = running.(p) in
       running.(p) <- (-1);
       incr executed;
+      if traced then
+        Nd_trace.Collector.emit tracer ~worker:p ~ts:t
+          (Nd_trace.Event.Strand_end { vertex = v });
       complete p v
     end;
     if not idle.(p) then begin
@@ -161,12 +169,33 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2) program machine =
             (match deque_steal_top deques.(victim) with
             | Some v ->
               incr steals;
+              if traced then
+                Nd_trace.Collector.emit tracer ~worker:p ~ts:t
+                  (Nd_trace.Event.Steal_success { victim; vertex = v });
               Some (v, steal_cost)
-            | None -> None))
+            | None ->
+              if traced then
+                Nd_trace.Collector.emit tracer ~worker:p ~ts:t
+                  (Nd_trace.Event.Steal_attempt { victim });
+              None))
       in
       match task with
       | Some (v, extra) ->
+        let m0 = if traced then Array.copy misses else [||] in
         let d = extra + vertex_cost p v in
+        if traced then begin
+          Nd_trace.Collector.emit tracer ~worker:p ~ts:t
+            (Nd_trace.Event.Strand_begin
+               { vertex = v; work = Dag.work_of dag v; label = Dag.label dag v });
+          for j = 1 to h do
+            let dm = misses.(j - 1) - m0.(j - 1) in
+            if dm > 0 then
+              Nd_trace.Collector.emit tracer ~worker:p ~ts:t
+                (Nd_trace.Event.Cache_miss
+                   { level = j; count = dm;
+                     cost = dm * Pmh.miss_cost machine ~level:j })
+          done
+        end;
         running.(p) <- v;
         busy := !busy + d;
         Heap.push events (t + d) p

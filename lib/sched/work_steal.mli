@@ -20,10 +20,15 @@ type stats = {
   n_procs : int;
 }
 
-(** [run ?seed ?steal_cost program machine] — simulate; [steal_cost]
-    (default 2) time units per successful steal. *)
+(** [run ?seed ?steal_cost ?tracer program machine] — simulate;
+    [steal_cost] (default 2) time units per successful steal.  With
+    [tracer] (one ring per simulated processor), emits per-vertex strand
+    begin/end, steal attempt/success, fire and per-level cache-miss
+    events at simulation timestamps; tracing never perturbs the
+    schedule or the stats. *)
 val run :
-  ?seed:int -> ?steal_cost:int -> Nd.Program.t -> Nd_pmh.Pmh.t -> stats
+  ?seed:int -> ?steal_cost:int -> ?tracer:Nd_trace.Collector.t ->
+  Nd.Program.t -> Nd_pmh.Pmh.t -> stats
 
 val utilization : stats -> float
 

@@ -1,0 +1,80 @@
+module Dag = Nd_dag.Dag
+
+type interval = {
+  worker : int;
+  vertex : int;
+  label : string;
+  work : int;
+  t0 : int;
+  t1 : int;
+}
+
+let intervals t =
+  let stacks = Hashtbl.create 16 in
+  let stack w =
+    match Hashtbl.find_opt stacks w with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks w s;
+      s
+  in
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      let s = stack e.Event.worker in
+      match e.Event.kind with
+      | Event.Strand_begin { vertex; work; label } ->
+        s := (vertex, work, label, e.Event.ts) :: !s
+      | Event.Strand_end { vertex } -> (
+        match !s with
+        | (v, work, label, t0) :: rest when v = vertex ->
+          s := rest;
+          out :=
+            { worker = e.Event.worker; vertex = v; label; work; t0; t1 = e.Event.ts }
+            :: !out
+        | _ -> (* unmatched end (ring overflow ate the begin): drop *) ())
+      | _ -> ())
+    (Collector.events t);
+  List.stable_sort (fun a b -> compare a.t0 b.t0) (List.rev !out)
+
+let traced_work t ~n =
+  let tw = Array.make n 0 in
+  List.iter
+    (fun e ->
+      match e.Event.kind with
+      | Event.Strand_begin { vertex; work; _ } when vertex >= 0 && vertex < n ->
+        tw.(vertex) <- work
+      | _ -> ())
+    (Collector.events t);
+  tw
+
+let critical_path t dag =
+  let tw = traced_work t ~n:(Dag.n_vertices dag) in
+  Dag.longest_path_weighted dag (fun v -> tw.(v))
+
+let coverage t dag =
+  let n = Dag.n_vertices dag in
+  let tw = traced_work t ~n in
+  let traced = ref 0 and total = ref 0 in
+  for v = 0 to n - 1 do
+    if Dag.work_of dag v > 0 then begin
+      incr total;
+      if tw.(v) > 0 then incr traced
+    end
+  done;
+  (!traced, !total)
+
+let inclusive_by_label t =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun iv ->
+      let count, time =
+        match Hashtbl.find_opt acc iv.label with
+        | Some (c, tt) -> (c, tt)
+        | None -> (0, 0)
+      in
+      Hashtbl.replace acc iv.label (count + 1, time + (iv.t1 - iv.t0)))
+    (intervals t);
+  let rows = Hashtbl.fold (fun l (c, tt) acc -> (l, c, tt) :: acc) acc [] in
+  List.sort (fun (_, _, a) (_, _, b) -> compare b a) rows

@@ -1,0 +1,149 @@
+module Json = Nd_util.Json
+
+let us to_us ts = Json.Float (float_of_int ts *. to_us)
+
+let base ~name ~cat ~ph ~ts_us ~tid args =
+  let fields =
+    [
+      ("name", Json.String name);
+      ("cat", Json.String cat);
+      ("ph", Json.String ph);
+      ("ts", ts_us);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+    ]
+  in
+  match args with [] -> Json.Obj fields | _ -> Json.Obj (fields @ [ ("args", Json.Obj args) ])
+
+let counter ~name ~ts_us value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "C");
+      ("ts", ts_us);
+      ("pid", Json.Int 0);
+      ("args", Json.Obj [ ("value", Json.Int value) ]);
+    ]
+
+let instant ~name ~cat ~ts_us ~tid args =
+  let fields =
+    [
+      ("name", Json.String name);
+      ("cat", Json.String cat);
+      ("ph", Json.String "i");
+      ("s", Json.String "t");
+      ("ts", ts_us);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+    ]
+  in
+  Json.Obj (fields @ [ ("args", Json.Obj args) ])
+
+let to_json t =
+  let to_us = Collector.ts_to_us t in
+  let anchored = ref 0 in
+  let max_level = ref 0 in
+  List.iter
+    (fun e ->
+      match e.Event.kind with
+      | Event.Cache_miss { level; _ }
+      | Event.Anchor_create { level; _ }
+      | Event.Anchor_release { level; _ } ->
+        if level > !max_level then max_level := level
+      | _ -> ())
+    (Collector.events t);
+  let cum_misses = Array.make (!max_level + 1) 0 in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String "ndsim") ]);
+      ]
+    :: List.init (Collector.n_workers t) (fun w ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 0);
+               ("tid", Json.Int w);
+               ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "proc %d" w)) ]);
+             ])
+  in
+  let of_event e =
+    let ts_us = us to_us e.Event.ts in
+    let tid = e.Event.worker in
+    match e.Event.kind with
+    | Event.Strand_begin { vertex; work; label } ->
+      [
+        base ~name:label ~cat:"strand" ~ph:"B" ~ts_us ~tid
+          [ ("vertex", Json.Int vertex); ("work", Json.Int work) ];
+      ]
+    | Event.Strand_end _ -> [ base ~name:"" ~cat:"strand" ~ph:"E" ~ts_us ~tid [] ]
+    | Event.Spawn { count } ->
+      [ instant ~name:"spawn" ~cat:"spawn" ~ts_us ~tid [ ("count", Json.Int count) ] ]
+    | Event.Fire { target; level } ->
+      [
+        instant ~name:"fire" ~cat:"fire" ~ts_us ~tid
+          [ ("target", Json.Int target); ("level", Json.Int level) ];
+      ]
+    | Event.Steal_attempt { victim } ->
+      [ instant ~name:"steal miss" ~cat:"steal" ~ts_us ~tid [ ("victim", Json.Int victim) ] ]
+    | Event.Steal_success { victim; vertex } ->
+      [
+        instant ~name:"steal" ~cat:"steal" ~ts_us ~tid
+          [ ("victim", Json.Int victim); ("vertex", Json.Int vertex) ];
+      ]
+    | Event.Anchor_create { level; cache; task; size } ->
+      anchored := !anchored + size;
+      [
+        instant ~name:(Printf.sprintf "anchor L%d" level) ~cat:"anchor" ~ts_us ~tid
+          [
+            ("level", Json.Int level);
+            ("cache", Json.Int cache);
+            ("task", Json.Int task);
+            ("size", Json.Int size);
+          ];
+        counter ~name:"anchored footprint" ~ts_us !anchored;
+      ]
+    | Event.Anchor_release { level; cache; task; size } ->
+      anchored := !anchored - size;
+      [
+        instant ~name:(Printf.sprintf "release L%d" level) ~cat:"anchor" ~ts_us ~tid
+          [
+            ("level", Json.Int level);
+            ("cache", Json.Int cache);
+            ("task", Json.Int task);
+            ("size", Json.Int size);
+          ];
+        counter ~name:"anchored footprint" ~ts_us !anchored;
+      ]
+    | Event.Cache_miss { level; count; cost } ->
+      cum_misses.(level) <- cum_misses.(level) + count;
+      [
+        counter ~name:(Printf.sprintf "L%d misses" level) ~ts_us cum_misses.(level);
+        instant ~name:(Printf.sprintf "miss L%d" level) ~cat:"miss" ~ts_us ~tid
+          [ ("count", Json.Int count); ("cost", Json.Int cost) ];
+      ]
+  in
+  let body = List.concat_map of_event (Collector.events t) in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ body));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("generator", Json.String "ndsim");
+            ("droppedEvents", Json.Int (Collector.dropped t));
+          ] );
+    ]
+
+let to_string t = Json.to_string (to_json t)
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (to_json t))

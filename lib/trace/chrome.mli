@@ -1,0 +1,21 @@
+(** Chrome/Perfetto [trace_event] JSON exporter.
+
+    Produces the JSON-object form ([{"traceEvents": [...]}]) loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}:
+
+    - one named thread track per worker/processor (tid = worker id, even
+      for workers that stayed idle), carrying [B]/[E] slices for strands
+      and instant events for spawns, fires, steals and anchor activity;
+    - a process-level counter track ["anchored footprint"] integrating
+      {!Event.Anchor_create}/[Anchor_release] sizes;
+    - one counter track ["L<j> misses"] per cache level accumulating
+      {!Event.Cache_miss} counts.
+
+    Timestamps are converted to microseconds with the collector's
+    [ts_to_us]. *)
+
+val to_json : Collector.t -> Nd_util.Json.t
+
+val to_string : Collector.t -> string
+
+val write_file : Collector.t -> string -> unit

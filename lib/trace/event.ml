@@ -1,0 +1,40 @@
+type kind =
+  | Strand_begin of { vertex : int; work : int; label : string }
+  | Strand_end of { vertex : int }
+  | Spawn of { count : int }
+  | Fire of { target : int; level : int }
+  | Steal_attempt of { victim : int }
+  | Steal_success of { victim : int; vertex : int }
+  | Anchor_create of { level : int; cache : int; task : int; size : int }
+  | Anchor_release of { level : int; cache : int; task : int; size : int }
+  | Cache_miss of { level : int; count : int; cost : int }
+
+type t = { ts : int; worker : int; kind : kind }
+
+let tag = function
+  | Strand_begin _ -> "strand_begin"
+  | Strand_end _ -> "strand_end"
+  | Spawn _ -> "spawn"
+  | Fire _ -> "fire"
+  | Steal_attempt _ -> "steal_attempt"
+  | Steal_success _ -> "steal_success"
+  | Anchor_create _ -> "anchor_create"
+  | Anchor_release _ -> "anchor_release"
+  | Cache_miss _ -> "cache_miss"
+
+let pp ppf e =
+  Format.fprintf ppf "[%d @%d] %s" e.worker e.ts (tag e.kind);
+  match e.kind with
+  | Strand_begin { vertex; work; label } ->
+    Format.fprintf ppf " v=%d work=%d %s" vertex work label
+  | Strand_end { vertex } -> Format.fprintf ppf " v=%d" vertex
+  | Spawn { count } -> Format.fprintf ppf " count=%d" count
+  | Fire { target; level } -> Format.fprintf ppf " target=%d level=%d" target level
+  | Steal_attempt { victim } -> Format.fprintf ppf " victim=%d" victim
+  | Steal_success { victim; vertex } ->
+    Format.fprintf ppf " victim=%d v=%d" victim vertex
+  | Anchor_create { level; cache; task; size }
+  | Anchor_release { level; cache; task; size } ->
+    Format.fprintf ppf " level=%d cache=%d task=%d size=%d" level cache task size
+  | Cache_miss { level; count; cost } ->
+    Format.fprintf ppf " level=%d count=%d cost=%d" level count cost

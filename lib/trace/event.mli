@@ -1,0 +1,39 @@
+(** Structured trace events.
+
+    One value per observable runtime action, shared by the discrete-event
+    simulators ([Nd_sched]), the serial reference executor
+    ([Nd.Serial_exec]) and the real multicore runtime ([Nd_runtime]).
+    Timestamps are integers in whatever unit the producing collector was
+    configured with — simulated cost units for the simulators, nanoseconds
+    for the wall-clock runtime (see [Collector.ts_to_us]). *)
+
+type kind =
+  | Strand_begin of { vertex : int; work : int; label : string }
+      (** a worker starts executing a strand.  [vertex] is the DAG vertex
+          for vertex-granular paths (serial, work stealing, dataflow), the
+          spawn-tree node of the level-1 task for the space-bounded
+          scheduler, and [-1] for the fork–join runtime (which walks the
+          tree, not the DAG). *)
+  | Strand_end of { vertex : int }
+  | Spawn of { count : int }
+      (** [count] parallel children were made available at once. *)
+  | Fire of { target : int; level : int }
+      (** the last inbound dependency of [target] was satisfied: a DAG
+          vertex became ready ([level = 0]) or, in the space-bounded
+          scheduler, a level-[level] task was enqueued on its anchor. *)
+  | Steal_attempt of { victim : int }
+      (** a steal sweep that found nothing ([victim = -1] when no specific
+          victim was probed). *)
+  | Steal_success of { victim : int; vertex : int }
+  | Anchor_create of { level : int; cache : int; task : int; size : int }
+  | Anchor_release of { level : int; cache : int; task : int; size : int }
+  | Cache_miss of { level : int; count : int; cost : int }
+      (** [count] level-[level] misses charged while the current strand
+          ran, at total cost [cost]. *)
+
+type t = { ts : int; worker : int; kind : kind }
+
+(** Short lowercase tag for a kind (used by exporters and tests). *)
+val tag : kind -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,132 @@
+module Table = Nd_util.Table
+
+type worker_row = {
+  worker : int;
+  strands : int;
+  busy : int;
+  fires : int;
+  attempts : int;
+  steals : int;
+  anchors : int;
+  misses : int;
+  miss_cost : int;
+}
+
+let per_worker t =
+  let nw = Collector.n_workers t in
+  let rows =
+    Array.init nw (fun worker ->
+        {
+          worker;
+          strands = 0;
+          busy = 0;
+          fires = 0;
+          attempts = 0;
+          steals = 0;
+          anchors = 0;
+          misses = 0;
+          miss_cost = 0;
+        })
+  in
+  List.iter
+    (fun iv ->
+      let r = rows.(iv.Analyzer.worker) in
+      rows.(iv.Analyzer.worker) <-
+        {
+          r with
+          strands = r.strands + 1;
+          busy = r.busy + (iv.Analyzer.t1 - iv.Analyzer.t0);
+        })
+    (Analyzer.intervals t);
+  List.iter
+    (fun e ->
+      let w = e.Event.worker in
+      if w >= 0 && w < nw then
+        let r = rows.(w) in
+        match e.Event.kind with
+        | Event.Fire _ -> rows.(w) <- { r with fires = r.fires + 1 }
+        | Event.Steal_attempt _ -> rows.(w) <- { r with attempts = r.attempts + 1 }
+        | Event.Steal_success _ -> rows.(w) <- { r with steals = r.steals + 1 }
+        | Event.Anchor_create _ -> rows.(w) <- { r with anchors = r.anchors + 1 }
+        | Event.Cache_miss { count; cost; _ } ->
+          rows.(w) <- { r with misses = r.misses + count; miss_cost = r.miss_cost + cost }
+        | _ -> ())
+    (Collector.events t);
+  Array.to_list rows
+
+let wall t =
+  match Collector.events t with
+  | [] -> 0
+  | first :: _ as evs ->
+    let last = List.fold_left (fun _ e -> e.Event.ts) first.Event.ts evs in
+    last - first.Event.ts
+
+let table t =
+  let tbl =
+    Table.create ~title:"trace summary: per-worker activity"
+      [ "proc"; "strands"; "busy"; "util"; "fires"; "steal-"; "steal+"; "anchors";
+        "misses"; "miss cost" ]
+  in
+  let span = wall t in
+  let totals = ref (0, 0, 0, 0, 0, 0, 0, 0) in
+  List.iter
+    (fun r ->
+      let s, b, f, a, st, an, m, mc = !totals in
+      totals :=
+        ( s + r.strands, b + r.busy, f + r.fires, a + r.attempts, st + r.steals,
+          an + r.anchors, m + r.misses, mc + r.miss_cost );
+      Table.add_row tbl
+        [
+          Table.cell_int r.worker;
+          Table.cell_int r.strands;
+          Table.cell_int r.busy;
+          (if span = 0 then "-"
+           else Table.cell_float ~prec:3 (float_of_int r.busy /. float_of_int span));
+          Table.cell_int r.fires;
+          Table.cell_int r.attempts;
+          Table.cell_int r.steals;
+          Table.cell_int r.anchors;
+          Table.cell_int r.misses;
+          Table.cell_int r.miss_cost;
+        ])
+    (per_worker t);
+  let s, b, f, a, st, an, m, mc = !totals in
+  let nw = max 1 (Collector.n_workers t) in
+  Table.add_row tbl
+    [
+      "all";
+      Table.cell_int s;
+      Table.cell_int b;
+      (if span = 0 then "-"
+       else Table.cell_float ~prec:3 (float_of_int b /. float_of_int (span * nw)));
+      Table.cell_int f;
+      Table.cell_int a;
+      Table.cell_int st;
+      Table.cell_int an;
+      Table.cell_int m;
+      Table.cell_int mc;
+    ];
+  tbl
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Table.render (table t));
+  let top = Analyzer.inclusive_by_label t in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  (match take 8 top with
+  | [] -> ()
+  | rows ->
+    Buffer.add_string buf "top strands by inclusive time:\n";
+    List.iter
+      (fun (label, count, time) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-24s x%-6d %d\n" label count time))
+      rows);
+  let d = Collector.dropped t in
+  if d > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "warning: %d events dropped (ring overflow)\n" d);
+  Buffer.contents buf

@@ -1,0 +1,262 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------ writer ----------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then begin
+      (* shortest representation that still round-trips *)
+      let s = Printf.sprintf "%.12g" f in
+      Buffer.add_string buf s
+    end
+    else Buffer.add_string buf "null"
+  | String s -> escape_to buf s
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf x)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf x)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+let to_channel oc v =
+  let buf = Buffer.create 4096 in
+  to_buffer buf v;
+  Buffer.add_char buf '\n';
+  Buffer.output_buffer oc buf
+
+(* ------------------------------ parser ----------------------------- *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'; advance st
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st
+      | Some '/' -> Buffer.add_char buf '/'; advance st
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st
+      | Some 'r' -> Buffer.add_char buf '\r'; advance st
+      | Some 't' -> Buffer.add_char buf '\t'; advance st
+      | Some 'b' -> Buffer.add_char buf '\b'; advance st
+      | Some 'f' -> Buffer.add_char buf '\012'; advance st
+      | Some 'u' ->
+        advance st;
+        if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+        let hex = String.sub st.src st.pos 4 in
+        let cp =
+          try int_of_string ("0x" ^ hex)
+          with Failure _ -> fail st "bad \\u escape"
+        in
+        st.pos <- st.pos + 4;
+        add_utf8 buf cp
+      | _ -> fail st "bad escape");
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" s))
+
+let keyword st kw v =
+  let n = String.length kw in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = kw
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected %s" kw)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec field () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (k, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          field ()
+        | Some '}' -> advance st
+        | _ -> fail st "expected ',' or '}'"
+      in
+      field ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec item () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          item ()
+        | Some ']' -> advance st
+        | _ -> fail st "expected ',' or ']'"
+      in
+      item ();
+      List (List.rev !items)
+    end
+  | Some 't' -> keyword st "true" (Bool true)
+  | Some 'f' -> keyword st "false" (Bool false)
+  | Some 'n' -> keyword st "null" Null
+  | Some _ -> parse_number st
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* ----------------------------- accessors --------------------------- *)
+
+let member key v =
+  match v with Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_list v =
+  match v with List l -> l | _ -> raise (Parse_error "expected an array")
+
+let to_number v =
+  match v with
+  | Int i -> float_of_int i
+  | Float f -> f
+  | _ -> raise (Parse_error "expected a number")
+
+let to_string_exn v =
+  match v with String s -> s | _ -> raise (Parse_error "expected a string")

@@ -1,0 +1,45 @@
+(** Minimal JSON: a value type, a writer, and a small recursive-descent
+    parser.  Used by the machine-readable table output
+    ({!Nd_util.Table.to_json}), the Chrome [trace_event] exporter
+    ([Nd_trace.Chrome]) and the round-trip checks in the test suite.
+    Covers the full JSON grammar except surrogate-pair [\uXXXX] escapes
+    (lone escapes below U+10000 are decoded to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_buffer buf v] appends the serialized value (no trailing newline). *)
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+(** [to_channel oc v] writes the value followed by a newline. *)
+val to_channel : out_channel -> t -> unit
+
+exception Parse_error of string
+
+(** [parse s] parses exactly one JSON value (surrounding whitespace
+    allowed).  @raise Parse_error on malformed input or trailing junk. *)
+val parse : string -> t
+
+(** {2 Accessors} *)
+
+(** [member key v] — the field of an [Obj], if present. *)
+val member : string -> t -> t option
+
+(** [to_list v] — the elements of a [List].  @raise Parse_error otherwise. *)
+val to_list : t -> t list
+
+(** [to_number v] — an [Int] or [Float] as a float.
+    @raise Parse_error otherwise. *)
+val to_number : t -> float
+
+(** [to_string_exn v] — the payload of a [String].
+    @raise Parse_error otherwise. *)
+val to_string_exn : t -> string

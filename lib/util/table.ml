@@ -45,3 +45,31 @@ let render t =
 let print t =
   print_string (render t);
   print_newline ()
+
+(* a cell is re-typed on the way out so downstream tooling gets numbers
+   where the harness printed numbers *)
+let json_cell c =
+  match int_of_string_opt c with
+  | Some i -> Json.Int i
+  | None -> (
+    match float_of_string_opt c with
+    | Some f -> Json.Float f
+    | None -> Json.String c)
+
+let to_json t =
+  Json.Obj
+    [
+      ("title", Json.String t.title);
+      ("headers", Json.List (List.map (fun h -> Json.String h) t.headers));
+      ( "rows",
+        Json.List
+          (List.rev_map
+             (fun r -> Json.List (List.map json_cell r))
+             t.rows) );
+    ]
+
+let write_json t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (to_json t))

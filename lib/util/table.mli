@@ -20,3 +20,11 @@ val render : t -> string
 
 (** [print t] renders to stdout followed by a blank line. *)
 val print : t -> unit
+
+(** [to_json t] is the machine-readable form
+    [{"title": ..., "headers": [...], "rows": [[...], ...]}]; cells that
+    printed as numbers come back out as JSON numbers. *)
+val to_json : t -> Json.t
+
+(** [write_json t path] writes {!to_json} to a file, newline-terminated. *)
+val write_json : t -> string -> unit
