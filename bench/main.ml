@@ -59,6 +59,9 @@ let bechamel_tests () =
         (Staged.stage (fun () -> Nd.Serial_exec.run p_lcs));
       Test.make ~name:"e9.dataflow-exec(lcs128)"
         (Staged.stage (fun () -> Nd_runtime.Executor.run_dataflow ~workers:2 p_lcs));
+      Test.make ~name:"e9.dataflow-g4096(lcs128)"
+        (Staged.stage (fun () ->
+             Nd_runtime.Executor.run_dataflow ~workers:2 ~grain:4096 p_lcs));
       Test.make ~name:"e9.forkjoin-exec(lcs128)"
         (Staged.stage (fun () -> Nd_runtime.Executor.run_fork_join ~workers:2 p_lcs));
     ]
@@ -90,7 +93,7 @@ let () =
   List.iter
     (fun (name, f) ->
       let table = f () in
-      if name = "e9" then Nd_util.Table.write_json table "BENCH_1.json")
+      if name = "e9" then Nd_util.Table.write_json table "BENCH_2.json")
     Nd_experiments.Suite.all;
   run_bechamel ();
   Printf.printf "total bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

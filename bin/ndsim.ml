@@ -239,7 +239,14 @@ let trace_cmd =
          & info [ "workers"; "w" ] ~docv:"W"
              ~doc:"Worker domains for the real executors (dataflow/forkjoin).")
   in
-  let run algo n base seed np sched top fine workers out =
+  let grain_arg =
+    Arg.(value & opt (some int) None
+         & info [ "grain" ] ~docv:"G"
+             ~doc:"Leaf-coarsening work threshold for the real executors: \
+                   program subtrees with total work <= G run serially on one \
+                   worker (0 or omitted: vertex granularity).")
+  in
+  let run algo n base seed np sched top fine workers grain out =
     let w = build_workload algo n base seed in
     let p = Workload.compile ~mode:(mode_of np) w in
     let dag = Nd.Program.dag p in
@@ -274,7 +281,7 @@ let trace_cmd =
         in
         let t = Nd_trace.Collector.wallclock ~workers:nw () in
         w.Workload.reset ();
-        Nd_runtime.Executor.run_dataflow ~workers:nw ~tracer:t p;
+        Nd_runtime.Executor.run_dataflow ~workers:nw ?grain ~tracer:t p;
         Format.printf "dataflow: workers=%d max err=%g@." nw (w.Workload.check ());
         (t, true)
       | "forkjoin" ->
@@ -285,9 +292,9 @@ let trace_cmd =
         in
         let t = Nd_trace.Collector.wallclock ~workers:nw () in
         w.Workload.reset ();
-        Nd_runtime.Executor.run_fork_join ~workers:nw ~tracer:t p;
+        Nd_runtime.Executor.run_fork_join ~workers:nw ?grain ~tracer:t p;
         Format.printf "forkjoin: workers=%d max err=%g@." nw (w.Workload.check ());
-        (t, false)
+        (t, true)
       | other ->
         Format.eprintf "unknown scheduler %s (want sb|ws|serial|dataflow|forkjoin)@." other;
         exit 2
@@ -310,7 +317,7 @@ let trace_cmd =
        ~doc:"Record a structured trace of a scheduler run and export it as \
              Chrome trace_event JSON plus a per-worker summary.")
     Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg
-          $ sched_arg $ top_arg $ fine_arg $ workers_arg $ out_arg)
+          $ sched_arg $ top_arg $ fine_arg $ workers_arg $ grain_arg $ out_arg)
 
 (* --------------------------- experiments ---------------------------- *)
 

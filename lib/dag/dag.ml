@@ -11,13 +11,20 @@ type vertex = {
   mutable preds : vertex_id list;
 }
 
+type csr = {
+  succ_off : int array;
+  succ_tgt : int array;
+  indeg : int array;
+}
+
 type t = {
   mutable vertices : vertex array;
   mutable n : int;
   mutable edges : int;
+  mutable csr_cache : csr option;
 }
 
-let create () = { vertices = [||]; n = 0; edges = 0 }
+let create () = { vertices = [||]; n = 0; edges = 0; csr_cache = None }
 
 let grow t =
   let cap = Array.length t.vertices in
@@ -36,6 +43,7 @@ let add_vertex t ?(label = "") ~work ~reads ~writes () =
   let id = t.n in
   t.vertices.(id) <- { label; work; reads; writes; succs = []; preds = [] };
   t.n <- t.n + 1;
+  t.csr_cache <- None;
   id
 
 let check_id t v =
@@ -50,7 +58,8 @@ let add_edge t u v =
     vu.succs <- v :: vu.succs;
     let vv = t.vertices.(v) in
     vv.preds <- u :: vv.preds;
-    t.edges <- t.edges + 1
+    t.edges <- t.edges + 1;
+    t.csr_cache <- None
   end
 
 let n_vertices t = t.n
@@ -89,6 +98,40 @@ let work t =
     acc := !acc + t.vertices.(i).work
   done;
   !acc
+
+(* Flat CSR adjacency: one offsets array (length n+1) plus one packed
+   successor-id array, so the runtime's wake-up loop is an int-array scan
+   with no list-cell pointer chasing and no per-visit allocation.  Built
+   lazily and cached; any mutation invalidates the cache. *)
+let build_csr t =
+  let n = t.n in
+  let succ_off = Array.make (n + 1) 0 in
+  let indeg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    succ_off.(v + 1) <- List.length t.vertices.(v).succs;
+    indeg.(v) <- List.length t.vertices.(v).preds
+  done;
+  for v = 1 to n do
+    succ_off.(v) <- succ_off.(v) + succ_off.(v - 1)
+  done;
+  let succ_tgt = Array.make succ_off.(n) 0 in
+  let fill = Array.make n 0 in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun s ->
+        succ_tgt.(succ_off.(v) + fill.(v)) <- s;
+        fill.(v) <- fill.(v) + 1)
+      t.vertices.(v).succs
+  done;
+  { succ_off; succ_tgt; indeg }
+
+let csr t =
+  match t.csr_cache with
+  | Some c -> c
+  | None ->
+    let c = build_csr t in
+    t.csr_cache <- Some c;
+    c
 
 exception Cycle of vertex_id
 

@@ -51,6 +51,22 @@ val footprint_of : t -> vertex_id -> Nd_util.Interval_set.t
 (** Total work [T_1]: sum of vertex works. *)
 val work : t -> int
 
+(** Flat compressed-sparse-row view of the adjacency, for hot loops that
+    cannot afford list traversal or allocation (the multicore dataflow
+    executor's wake-up scan).  [succ_off] has length [n_vertices + 1];
+    the successors of [v] are [succ_tgt.(succ_off.(v)) ..
+    succ_tgt.(succ_off.(v+1) - 1)].  [indeg.(v)] is the in-degree of [v]
+    at build time.  The arrays are cached inside the DAG and shared
+    between calls: treat them as read-only.  Any [add_vertex]/[add_edge]
+    invalidates the cache. *)
+type csr = {
+  succ_off : int array;
+  succ_tgt : int array;
+  indeg : int array;
+}
+
+val csr : t -> csr
+
 exception Cycle of vertex_id
 
 (** [topo_order t] returns the vertices in a topological order.

@@ -4,7 +4,12 @@
     any domain may call {!steal} (top end).  Lock-free; the only
     synchronized contention is the owner/thief race on the last element,
     resolved with a compare-and-set on [top].  The buffer grows
-    geometrically and never shrinks. *)
+    geometrically and never shrinks; retired buffer generations are
+    retained (linked from their replacement) so a thief holding an old
+    generation never observes a recycled slot — see the memory-model
+    argument at the top of [deque.ml], which follows Le, Pop, Cohen &
+    Nardelli (PPoPP 2013).  Consumed slots are cleared so the deque
+    never pins dead work items against the GC. *)
 
 type 'a t
 
@@ -21,5 +26,6 @@ val pop : 'a t -> 'a option
     deque looks empty or the race was lost. *)
 val steal : 'a t -> 'a option
 
-(** [size t] — instantaneous size (approximate under concurrency). *)
+(** [size t] — instantaneous size (approximate under concurrency;
+    never negative: [top] is read first and only ever grows). *)
 val size : 'a t -> int

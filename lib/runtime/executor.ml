@@ -2,74 +2,243 @@ module Dag = Nd_dag.Dag
 module Trace = Nd_trace.Collector
 open Nd
 
-let default_workers () = max 1 (min 8 (Domain.recommended_domain_count ()))
+let env_workers () =
+  match Sys.getenv_opt "NDSIM_WORKERS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some w when w >= 1 -> Some w
+    | Some _ | None -> None)
+  | None -> None
 
-(* capped exponential backoff for idle spin loops: after 64 failed
-   sweeps, pause for a doubling number of cpu_relax hints (up to 512) so
-   1-worker and oversubscribed runs stop burning a full core *)
-let backoff spin =
+let default_workers () =
+  match env_workers () with
+  | Some w -> w
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* Capped exponential backoff for idle spin loops, shared by both
+   executors.  Phase 1: doubling bursts of [cpu_relax] hints.  Phase 2:
+   short OS sleeps (a blocking section, so a sleeper neither burns the
+   core nor delays stop-the-world GC barriers).  [spin_cap] is the
+   failed-sweep count at which phase 2 starts: when the run is
+   oversubscribed (more domains than cores) spinning is poison — every
+   minor-GC barrier must wait for each spinning domain to be
+   {e scheduled} to reach a poll point — so idle workers go to sleep
+   almost immediately. *)
+let spin_cap ~nw =
+  if nw > Domain.recommended_domain_count () then 4 else 512
+
+let backoff ~spin_cap spin =
   incr spin;
-  if !spin > 64 then begin
+  if !spin > spin_cap then
+    (* doubling sleeps from 50us capped at 1ms: long enough that a
+       starved core drains real work between wake-ups, short enough
+       that a newly enabled DAG ladder is picked up promptly *)
+    Unix.sleepf
+      (min 1e-3 (5e-5 *. float_of_int (1 lsl min 5 ((!spin - spin_cap) / 16))))
+  else if !spin > 64 then begin
     let n = min 512 (1 lsl min 9 (!spin / 64)) in
     for _ = 1 to n do
       Domain.cpu_relax ()
     done
   end
 
+(* ------------------------- strand execution ------------------------ *)
+
+let run_action s = match s.Strand.action with Some f -> f () | None -> ()
+
+(* execute one strand, with begin/end events when traced and the strand
+   carries work (zero-work sync strands are not interesting intervals) *)
+let exec_strand ~tracer ~traced wid v s =
+  if traced && s.Strand.work > 0 then begin
+    Trace.emit_now tracer ~worker:wid
+      (Nd_trace.Event.Strand_begin
+         { vertex = v; work = s.Strand.work; label = s.Strand.label });
+    run_action s;
+    Trace.emit_now tracer ~worker:wid (Nd_trace.Event.Strand_end { vertex = v })
+  end
+  else run_action s
+
+(* execute program leaves [lo, hi) serially, in tree order.  Valid for
+   any subtree: every DAG edge between two leaves of one subtree points
+   forward in leaf order (Seq chains by construction; fire edges go from
+   the fire's source child to its sink child, which is later in tree
+   order), so tree order is a topological order of the sub-DAG. *)
+let exec_leaf_range program ~tracer ~traced wid lo hi =
+  for i = lo to hi - 1 do
+    match Program.kind_of program (Program.leaf_node program i) with
+    | Program.Leaf s ->
+      exec_strand ~tracer ~traced wid (Program.leaf_vertex program i) s
+    | Program.Seq | Program.Par | Program.Fire _ -> assert false
+  done
+
 (* ------------------------- dataflow executor ----------------------- *)
 
-let act program v =
-  let n = Program.vertex_owner program v in
-  if n >= 0 then
-    match Program.kind_of program n with
-    | Program.Leaf s -> ( match s.Strand.action with Some f -> f () | None -> ())
-    | Program.Seq | Program.Par | Program.Fire _ -> ()
+(* A schedulable unit of the dataflow runtime: either a single DAG
+   vertex (the grain-0 default, and glue sync vertices under
+   coarsening), or a contiguous leaf range of the program tree whose
+   total work fit under the grain threshold and is run serially. *)
+type task = Tvertex of int | Tleaves of { lo : int; hi : int }
 
-let run_dataflow ?workers ?(tracer = Trace.null) program =
-  let nw = match workers with Some w -> max 1 w | None -> default_workers () in
-  let traced = Trace.enabled tracer in
+type plan = {
+  kinds : task array;
+  succ_off : int array;
+  succ_tgt : int array;
+  indeg : int array;
+}
+
+(* Coarsen the DAG along the program tree: maximal subtrees with work
+   <= grain collapse into one serial task; Seq glue disappears; Par and
+   Fire glue contribute their begin/end sync vertices as singleton
+   tasks.  Cross-task DAG edges are contracted and deduplicated into a
+   fresh CSR.  The contraction is acyclic because every DAG edge either
+   stays inside one chosen subtree or respects tree order between
+   disjoint subtrees (checked defensively below). *)
+let coarse_plan program ~grain =
   let dag = Program.dag program in
+  let c = Dag.csr dag in
   let nv = Dag.n_vertices dag in
-  let indeg = Array.init nv (fun v -> Atomic.make (List.length (Dag.preds dag v))) in
-  let remaining = Atomic.make nv in
-  let deques = Array.init nw (fun _ -> Deque.create ()) in
-  (* distribute the sources round-robin *)
-  let seed_slot = ref 0 in
+  let nn = Program.n_nodes program in
+  let chosen = Array.make nn (-1) in
+  let task_of_vertex = Array.make nv (-1) in
+  let kinds = ref [] in
+  let ntasks = ref 0 in
+  let add k =
+    let id = !ntasks in
+    incr ntasks;
+    kinds := k :: !kinds;
+    id
+  in
+  let rec go n =
+    if Program.work_of_node program n <= grain then begin
+      let lo, hi = Program.leaf_range program n in
+      chosen.(n) <- add (Tleaves { lo; hi })
+    end
+    else
+      match Program.kind_of program n with
+      | Program.Leaf _ ->
+        (* a single strand above the grain threshold *)
+        let v = Program.begin_vertex program n in
+        task_of_vertex.(v) <- add (Tvertex v)
+      | Program.Seq -> Array.iter go (Program.children program n)
+      | Program.Par | Program.Fire _ ->
+        let bv = Program.begin_vertex program n
+        and ev = Program.end_vertex program n in
+        task_of_vertex.(bv) <- add (Tvertex bv);
+        Array.iter go (Program.children program n);
+        task_of_vertex.(ev) <- add (Tvertex ev)
+  in
+  go (Program.root program);
+  (* vertices swallowed by a coarse subtree: find the chosen ancestor of
+     the owning tree node *)
   for v = 0 to nv - 1 do
-    if Atomic.get indeg.(v) = 0 then begin
+    if task_of_vertex.(v) < 0 then begin
+      let w = ref (Program.vertex_owner program v) in
+      while !w >= 0 && chosen.(!w) < 0 do
+        w := Program.parent program !w
+      done;
+      assert (!w >= 0);
+      task_of_vertex.(v) <- chosen.(!w)
+    end
+  done;
+  let nt = !ntasks in
+  let seen = Hashtbl.create (4 * nt) in
+  let counts = Array.make nt 0 in
+  let indeg = Array.make nt 0 in
+  let edges = ref [] in
+  for u = 0 to nv - 1 do
+    let tu = task_of_vertex.(u) in
+    for i = c.Dag.succ_off.(u) to c.Dag.succ_off.(u + 1) - 1 do
+      let tv = task_of_vertex.(c.Dag.succ_tgt.(i)) in
+      if tu <> tv then begin
+        let key = (tu * nt) + tv in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          counts.(tu) <- counts.(tu) + 1;
+          indeg.(tv) <- indeg.(tv) + 1;
+          edges := key :: !edges
+        end
+      end
+    done
+  done;
+  let succ_off = Array.make (nt + 1) 0 in
+  for t = 0 to nt - 1 do
+    succ_off.(t + 1) <- succ_off.(t) + counts.(t)
+  done;
+  let fill = Array.sub succ_off 0 nt in
+  let succ_tgt = Array.make (max 1 succ_off.(nt)) 0 in
+  List.iter
+    (fun key ->
+      let tu = key / nt in
+      succ_tgt.(fill.(tu)) <- key mod nt;
+      fill.(tu) <- fill.(tu) + 1)
+    !edges;
+  (* defensive acyclicity check: a cyclic contraction would deadlock the
+     workers, which is much harder to diagnose than failing here *)
+  let deg = Array.copy indeg in
+  let q = Queue.create () in
+  Array.iteri (fun t d -> if d = 0 then Queue.add t q) deg;
+  let done_ = ref 0 in
+  while not (Queue.is_empty q) do
+    let t = Queue.pop q in
+    incr done_;
+    for i = succ_off.(t) to succ_off.(t + 1) - 1 do
+      let s = succ_tgt.(i) in
+      deg.(s) <- deg.(s) - 1;
+      if deg.(s) = 0 then Queue.add s q
+    done
+  done;
+  if !done_ < nt then
+    invalid_arg "Executor: grain coarsening produced a cyclic task graph";
+  { kinds = Array.of_list (List.rev !kinds); succ_off; succ_tgt; indeg }
+
+(* The generic dependence-counting engine: tasks are ints, adjacency is
+   CSR int arrays, ready tasks flow through per-worker Chase-Lev deques.
+   The wake-up loop is allocation-free: an int-array scan plus one
+   atomic decrement per multi-predecessor edge (single-predecessor
+   targets skip the RMW entirely — the one completing predecessor is
+   the unique enabler). *)
+let run_tasks ~nw ~tracer ~traced ~succ_off ~succ_tgt ~indeg0 ~exec
+    ~steal_vertex =
+  let n = Array.length indeg0 in
+  let counters = Array.map Atomic.make indeg0 in
+  let remaining = Atomic.make n in
+  let deques = Array.init nw (fun _ -> Deque.create ()) in
+  let seed_slot = ref 0 in
+  for v = 0 to n - 1 do
+    if indeg0.(v) = 0 then begin
       Deque.push deques.(!seed_slot mod nw) v;
       incr seed_slot
     end
   done;
-  if traced then Trace.emit_now tracer ~worker:0 (Nd_trace.Event.Spawn { count = !seed_slot });
-  let exec wid v =
-    if traced then begin
-      let work = Dag.work_of dag v in
-      if work > 0 then
-        Trace.emit_now tracer ~worker:wid
-          (Nd_trace.Event.Strand_begin { vertex = v; work; label = Dag.label dag v })
-    end;
-    act program v;
-    if traced && Dag.work_of dag v > 0 then
-      Trace.emit_now tracer ~worker:wid (Nd_trace.Event.Strand_end { vertex = v });
+  if traced then
+    Trace.emit_now tracer ~worker:0 (Nd_trace.Event.Spawn { count = !seed_slot });
+  let run wid v =
+    exec wid v;
     Atomic.decr remaining;
-    List.iter
-      (fun s ->
-        if Atomic.fetch_and_add indeg.(s) (-1) = 1 then begin
-          Deque.push deques.(wid) s;
-          if traced then
-            Trace.emit_now tracer ~worker:wid
-              (Nd_trace.Event.Fire { target = s; level = 0 })
-        end)
-      (Dag.succs dag v)
+    let lo = Array.unsafe_get succ_off v
+    and hi = Array.unsafe_get succ_off (v + 1) in
+    for i = lo to hi - 1 do
+      let s = Array.unsafe_get succ_tgt i in
+      let ready =
+        Array.unsafe_get indeg0 s = 1
+        || Atomic.fetch_and_add (Array.unsafe_get counters s) (-1) = 1
+      in
+      if ready then begin
+        Deque.push (Array.unsafe_get deques wid) s;
+        if traced then
+          Trace.emit_now tracer ~worker:wid
+            (Nd_trace.Event.Fire { target = s; level = 0 })
+      end
+    done
   in
+  let cap = spin_cap ~nw in
   let worker wid () =
     let spin = ref 0 in
     while Atomic.get remaining > 0 do
       match Deque.pop deques.(wid) with
       | Some v ->
         spin := 0;
-        exec wid v
+        run wid v
       | None ->
         let stolen = ref false in
         let i = ref 1 in
@@ -80,19 +249,18 @@ let run_dataflow ?workers ?(tracer = Trace.null) program =
             if traced then
               Trace.emit_now tracer ~worker:wid
                 (Nd_trace.Event.Steal_success
-                   { victim = (wid + !i) mod nw; vertex = v });
+                   { victim = (wid + !i) mod nw; vertex = steal_vertex v });
             spin := 0;
-            exec wid v
+            run wid v
           | None -> ());
           incr i
         done;
         if not !stolen then begin
-          incr spin;
           (* record only the idle-period start, not every failed sweep *)
-          if traced && !spin = 1 then
+          if traced && !spin = 0 then
             Trace.emit_now tracer ~worker:wid
               (Nd_trace.Event.Steal_attempt { victim = -1 });
-          if !spin > 64 then Domain.cpu_relax ()
+          backoff ~spin_cap:cap spin
         end
     done
   in
@@ -100,6 +268,36 @@ let run_dataflow ?workers ?(tracer = Trace.null) program =
   worker 0 ();
   List.iter Domain.join domains;
   assert (Atomic.get remaining = 0)
+
+let act program ~tracer ~traced wid v =
+  let n = Program.vertex_owner program v in
+  if n >= 0 then
+    match Program.kind_of program n with
+    | Program.Leaf s -> exec_strand ~tracer ~traced wid v s
+    | Program.Seq | Program.Par | Program.Fire _ -> ()
+
+let run_dataflow ?workers ?(grain = 0) ?(tracer = Trace.null) program =
+  let nw = match workers with Some w -> max 1 w | None -> default_workers () in
+  let traced = Trace.enabled tracer in
+  if grain > 0 then begin
+    let plan = coarse_plan program ~grain in
+    run_tasks ~nw ~tracer ~traced ~succ_off:plan.succ_off
+      ~succ_tgt:plan.succ_tgt ~indeg0:plan.indeg
+      ~exec:(fun wid t ->
+        match plan.kinds.(t) with
+        | Tvertex v -> act program ~tracer ~traced wid v
+        | Tleaves { lo; hi } ->
+          exec_leaf_range program ~tracer ~traced wid lo hi)
+      ~steal_vertex:(fun t ->
+        match plan.kinds.(t) with Tvertex v -> Some v | Tleaves _ -> None)
+  end
+  else begin
+    let c = Dag.csr (Program.dag program) in
+    run_tasks ~nw ~tracer ~traced ~succ_off:c.Dag.succ_off
+      ~succ_tgt:c.Dag.succ_tgt ~indeg0:c.Dag.indeg
+      ~exec:(act program ~tracer ~traced)
+      ~steal_vertex:(fun v -> Some v)
+  end
 
 (* ------------------------- fork-join executor ---------------------- *)
 
@@ -111,6 +309,9 @@ type ctx = {
   finished : bool Atomic.t;
   tracer : Trace.t;
   traced : bool;
+  grain : int;
+  spin_cap : int;
+  program : Program.t;
 }
 
 let help ctx wid =
@@ -128,7 +329,7 @@ let help ctx wid =
         | Some j ->
           if ctx.traced then
             Trace.emit_now ctx.tracer ~worker:wid
-              (Nd_trace.Event.Steal_success { victim; vertex = -1 });
+              (Nd_trace.Event.Steal_success { victim; vertex = None });
           j.work wid;
           Atomic.set j.completed true;
           true
@@ -136,54 +337,64 @@ let help ctx wid =
     in
     try_steal 1
 
-let rec exec_tree ctx wid tree =
-  match tree with
-  | Spawn_tree.Leaf s ->
-    if ctx.traced && s.Strand.work > 0 then
-      Trace.emit_now ctx.tracer ~worker:wid
-        (Nd_trace.Event.Strand_begin
-           { vertex = -1; work = s.Strand.work; label = s.Strand.label });
-    (match s.Strand.action with Some f -> f () | None -> ());
-    if ctx.traced && s.Strand.work > 0 then
-      Trace.emit_now ctx.tracer ~worker:wid
-        (Nd_trace.Event.Strand_end { vertex = -1 })
-  | Spawn_tree.Seq l -> List.iter (exec_tree ctx wid) l
-  | Spawn_tree.Fire { src; snk; _ } ->
-    (* NP projection: serial composition *)
-    exec_tree ctx wid src;
-    exec_tree ctx wid snk
-  | Spawn_tree.Par [] -> ()
-  | Spawn_tree.Par (first :: rest) ->
-    let jobs =
-      List.map
-        (fun t ->
-          let j =
-            { work = (fun w -> exec_tree ctx w t); completed = Atomic.make false }
-          in
-          Deque.push ctx.deques.(wid) j;
-          j)
-        rest
-    in
-    if ctx.traced && rest <> [] then
-      Trace.emit_now ctx.tracer ~worker:wid
-        (Nd_trace.Event.Spawn { count = List.length rest });
-    exec_tree ctx wid first;
-    List.iter
-      (fun j ->
-        (* help-first join: run other work while waiting *)
-        let spin = ref 0 in
-        while not (Atomic.get j.completed) do
-          if help ctx wid then spin := 0
-          else begin
-            if ctx.traced && !spin = 0 then
-              Trace.emit_now ctx.tracer ~worker:wid
-                (Nd_trace.Event.Steal_attempt { victim = -1 });
-            backoff spin
-          end
-        done)
-      jobs
+(* walk the program's node array (the spawn tree annotated with work
+   counts) rather than the raw spawn tree: work annotations drive the
+   grain cutoff, and leaf nodes know their DAG vertex so strand events
+   carry real vertex ids. *)
+let rec exec_node ctx wid n =
+  let p = ctx.program in
+  let cs = Program.children p n in
+  if ctx.grain > 0 && cs <> [||] && Program.work_of_node p n <= ctx.grain then begin
+    let lo, hi = Program.leaf_range p n in
+    exec_leaf_range p ~tracer:ctx.tracer ~traced:ctx.traced wid lo hi
+  end
+  else
+    match Program.kind_of p n with
+    | Program.Leaf s ->
+      exec_strand ~tracer:ctx.tracer ~traced:ctx.traced wid
+        (Program.begin_vertex p n) s
+    | Program.Seq -> Array.iter (exec_node ctx wid) cs
+    | Program.Fire _ ->
+      (* NP projection: serial composition *)
+      exec_node ctx wid cs.(0);
+      exec_node ctx wid cs.(1)
+    | Program.Par ->
+      if cs <> [||] then begin
+        let rest = Array.sub cs 1 (Array.length cs - 1) in
+        let jobs =
+          Array.map
+            (fun c ->
+              let j =
+                {
+                  work = (fun w -> exec_node ctx w c);
+                  completed = Atomic.make false;
+                }
+              in
+              Deque.push ctx.deques.(wid) j;
+              j)
+            rest
+        in
+        if ctx.traced && Array.length rest > 0 then
+          Trace.emit_now ctx.tracer ~worker:wid
+            (Nd_trace.Event.Spawn { count = Array.length rest });
+        exec_node ctx wid cs.(0);
+        Array.iter
+          (fun j ->
+            (* help-first join: run other work while waiting *)
+            let spin = ref 0 in
+            while not (Atomic.get j.completed) do
+              if help ctx wid then spin := 0
+              else begin
+                if ctx.traced && !spin = 0 then
+                  Trace.emit_now ctx.tracer ~worker:wid
+                    (Nd_trace.Event.Steal_attempt { victim = -1 });
+                backoff ~spin_cap:ctx.spin_cap spin
+              end
+            done)
+          jobs
+      end
 
-let run_fork_join ?workers ?(tracer = Trace.null) program =
+let run_fork_join ?workers ?(grain = 0) ?(tracer = Trace.null) program =
   let nw = match workers with Some w -> max 1 w | None -> default_workers () in
   let ctx =
     {
@@ -192,6 +403,9 @@ let run_fork_join ?workers ?(tracer = Trace.null) program =
       finished = Atomic.make false;
       tracer;
       traced = Trace.enabled tracer;
+      grain;
+      spin_cap = spin_cap ~nw;
+      program;
     }
   in
   let helper wid () =
@@ -202,11 +416,11 @@ let run_fork_join ?workers ?(tracer = Trace.null) program =
         if ctx.traced && !spin = 0 then
           Trace.emit_now ctx.tracer ~worker:wid
             (Nd_trace.Event.Steal_attempt { victim = -1 });
-        backoff spin
+        backoff ~spin_cap:ctx.spin_cap spin
       end
     done
   in
   let domains = List.init (nw - 1) (fun i -> Domain.spawn (helper (i + 1))) in
-  exec_tree ctx 0 (Program.tree program);
+  exec_node ctx 0 (Program.root program);
   Atomic.set ctx.finished true;
   List.iter Domain.join domains

@@ -3,38 +3,63 @@
     {!run_dataflow} is the ND runtime: the algorithm DAG's dependency
     counters drive execution directly — a worker that completes a strand
     decrements its successors and pushes the newly enabled ones onto its
-    own Chase–Lev deque, stealing when empty.  Fire-construct parallelism
-    is therefore exploited exactly as the DRS exposes it.
+    own Chase–Lev deque, stealing when empty.  The hot path runs on the
+    DAG's flat CSR adjacency ({!Nd_dag.Dag.csr}): the wake-up loop is an
+    int-array scan with no allocation, and targets with a single
+    predecessor skip the atomic decrement entirely.  Fire-construct
+    parallelism is therefore exploited exactly as the DRS exposes it.
 
     {!run_fork_join} is the NP runtime: a classic fork–join traversal of
-    the spawn tree (fires treated as serial compositions), with
+    the program's spawn tree (fires treated as serial compositions), with
     help-first joins.  Comparing the two on the same workload is
     experiment E9.
+
+    Both executors accept a [grain]: subtrees of the program tree whose
+    total work is at most [grain] are executed serially by one worker
+    (in tree order, which is a valid topological order of any subtree's
+    sub-DAG), eliminating per-vertex scheduling overhead below the
+    threshold.  For the dataflow executor this contracts the DAG into a
+    coarse task graph once per run; [grain = 0] (the default) keeps
+    vertex granularity.  Correctness is unaffected: coarsening only ever
+    adds serialization.
 
     Correctness requires the program's DAG to be determinacy-race free
     (verified by {!Nd_dag.Race} in the test suite); then every execution
     computes the same result as {!Nd.Serial_exec.run}. *)
 
-(** [run_dataflow ?workers ?tracer program] executes all strand actions
-    in dependency order on [workers] domains (default:
-    [Domain.recommended_domain_count], capped at 8).  With [tracer]
-    (use {!Nd_trace.Collector.wallclock} with [~workers:nw] rings),
-    emits strand begin/end, fire, spawn and steal events at wall-clock
+(** [run_dataflow ?workers ?grain ?tracer program] executes all strand
+    actions in dependency order on [workers] domains (default:
+    {!default_workers}).  With [tracer] (use
+    {!Nd_trace.Collector.wallclock} with [~workers:nw] rings), emits
+    strand begin/end, fire, spawn and steal events at wall-clock
     nanosecond timestamps; each domain writes only its own ring, so
     tracing needs no synchronization and the untraced path costs one
-    branch per instrumentation point. *)
+    branch per instrumentation point.  Strand events always carry real
+    DAG vertex ids, also under coarsening (coarse tasks emit one
+    interval per contained leaf). *)
 val run_dataflow :
-  ?workers:int -> ?tracer:Nd_trace.Collector.t -> Nd.Program.t -> unit
+  ?workers:int ->
+  ?grain:int ->
+  ?tracer:Nd_trace.Collector.t ->
+  Nd.Program.t ->
+  unit
 
-(** [run_fork_join ?workers ?tracer program] executes the NP projection
-    of the spawn tree with nested fork–join parallelism.  The fire
-    constructs are treated as serial compositions, so this is exactly
-    the paper's NP baseline executed for real.  Strand events carry
-    [vertex = -1] (the executor walks the tree, not the DAG); idle
-    workers back off with capped exponential [cpu_relax] pauses. *)
+(** [run_fork_join ?workers ?grain ?tracer program] executes the NP
+    projection of the spawn tree with nested fork–join parallelism.  The
+    fire constructs are treated as serial compositions, so this is
+    exactly the paper's NP baseline executed for real.  Strand events
+    carry the leaf's DAG vertex id; steal events carry no vertex (jobs
+    are subtrees, not vertices).  Idle workers back off with capped
+    exponential [cpu_relax] pauses escalating to short sleeps. *)
 val run_fork_join :
-  ?workers:int -> ?tracer:Nd_trace.Collector.t -> Nd.Program.t -> unit
+  ?workers:int ->
+  ?grain:int ->
+  ?tracer:Nd_trace.Collector.t ->
+  Nd.Program.t ->
+  unit
 
 (** [default_workers ()] — the worker count used when [?workers] is
-    omitted. *)
+    omitted: the [NDSIM_WORKERS] environment variable when set to a
+    positive integer, otherwise [Domain.recommended_domain_count]
+    capped at 8. *)
 val default_workers : unit -> int

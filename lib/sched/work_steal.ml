@@ -171,7 +171,7 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2)
               incr steals;
               if traced then
                 Nd_trace.Collector.emit tracer ~worker:p ~ts:t
-                  (Nd_trace.Event.Steal_success { victim; vertex = v });
+                  (Nd_trace.Event.Steal_success { victim; vertex = Some v });
               Some (v, steal_cost)
             | None ->
               if traced then

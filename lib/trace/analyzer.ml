@@ -43,6 +43,8 @@ let traced_work t ~n =
   List.iter
     (fun e ->
       match e.Event.kind with
+      (* out-of-range ids (notably the fork-join executor's historical
+         [-1] placeholder) must never be charged to a real vertex *)
       | Event.Strand_begin { vertex; work; _ } when vertex >= 0 && vertex < n ->
         tw.(vertex) <- work
       | _ -> ())

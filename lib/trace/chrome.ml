@@ -93,7 +93,8 @@ let to_json t =
     | Event.Steal_success { victim; vertex } ->
       [
         instant ~name:"steal" ~cat:"steal" ~ts_us ~tid
-          [ ("victim", Json.Int victim); ("vertex", Json.Int vertex) ];
+          (("victim", Json.Int victim)
+          :: (match vertex with Some v -> [ ("vertex", Json.Int v) ] | None -> []));
       ]
     | Event.Anchor_create { level; cache; task; size } ->
       anchored := !anchored + size;

@@ -4,7 +4,9 @@ type kind =
   | Spawn of { count : int }
   | Fire of { target : int; level : int }
   | Steal_attempt of { victim : int }
-  | Steal_success of { victim : int; vertex : int }
+  | Steal_success of { victim : int; vertex : int option }
+      (** [vertex] is [None] when the stolen unit is not a single DAG
+          vertex (fork-join jobs, coarsened leaf ranges). *)
   | Anchor_create of { level : int; cache : int; task : int; size : int }
   | Anchor_release of { level : int; cache : int; task : int; size : int }
   | Cache_miss of { level : int; count : int; cost : int }
@@ -31,8 +33,11 @@ let pp ppf e =
   | Spawn { count } -> Format.fprintf ppf " count=%d" count
   | Fire { target; level } -> Format.fprintf ppf " target=%d level=%d" target level
   | Steal_attempt { victim } -> Format.fprintf ppf " victim=%d" victim
-  | Steal_success { victim; vertex } ->
-    Format.fprintf ppf " victim=%d v=%d" victim vertex
+  | Steal_success { victim; vertex } -> (
+    Format.fprintf ppf " victim=%d" victim;
+    match vertex with
+    | Some v -> Format.fprintf ppf " v=%d" v
+    | None -> ())
   | Anchor_create { level; cache; task; size }
   | Anchor_release { level; cache; task; size } ->
     Format.fprintf ppf " level=%d cache=%d task=%d size=%d" level cache task size

@@ -10,10 +10,10 @@
 type kind =
   | Strand_begin of { vertex : int; work : int; label : string }
       (** a worker starts executing a strand.  [vertex] is the DAG vertex
-          for vertex-granular paths (serial, work stealing, dataflow), the
+          for vertex-granular paths (serial, work stealing, and both real
+          executors, which resolve each leaf to its DAG vertex), and the
           spawn-tree node of the level-1 task for the space-bounded
-          scheduler, and [-1] for the fork–join runtime (which walks the
-          tree, not the DAG). *)
+          scheduler.  Consumers must ignore out-of-range ids. *)
   | Strand_end of { vertex : int }
   | Spawn of { count : int }
       (** [count] parallel children were made available at once. *)
@@ -24,7 +24,10 @@ type kind =
   | Steal_attempt of { victim : int }
       (** a steal sweep that found nothing ([victim = -1] when no specific
           victim was probed). *)
-  | Steal_success of { victim : int; vertex : int }
+  | Steal_success of { victim : int; vertex : int option }
+      (** a successful steal.  [vertex] is the stolen DAG vertex for
+          vertex-granular paths and [None] when the stolen unit is not a
+          single vertex (fork–join jobs, coarsened leaf ranges). *)
   | Anchor_create of { level : int; cache : int; task : int; size : int }
   | Anchor_release of { level : int; cache : int; task : int; size : int }
   | Cache_miss of { level : int; count : int; cost : int }

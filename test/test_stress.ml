@@ -1,0 +1,279 @@
+(* Stress tests for the multicore runtime: a model-based check of the
+   Chase-Lev deque, concurrent exactly-once delivery under 1 owner + N
+   thieves (crossing several buffer growths, which exercises the
+   retired-generation retention path), and executor-vs-serial
+   equivalence over workers x grain.
+
+   NDSIM_STRESS_ITERS scales the number of repetitions of the
+   concurrent test (default 3, so CI stays fast on small machines; run
+   with e.g. NDSIM_STRESS_ITERS=1000 for a soak). *)
+
+module Deque = Nd_runtime.Deque
+module Executor = Nd_runtime.Executor
+open Nd_algos
+
+let stress_iters =
+  match Sys.getenv_opt "NDSIM_STRESS_ITERS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 3)
+  | None -> 3
+
+(* ------------------- model-based sequential deque ------------------- *)
+
+(* Reference model: a list front..back.  push appends at the back, pop
+   takes from the back, steal takes from the front.  In a single-domain
+   run the deque must agree with the model exactly, and [size] must
+   match and never go negative. *)
+
+type op = Push of int | Pop | Steal
+
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 0 400)
+      (frequency
+         [ (3, map (fun i -> Push i) (int_bound 10_000)); (2, pure Pop); (2, pure Steal) ]))
+
+let pp_ops ops =
+  String.concat ";"
+    (List.map
+       (function Push i -> Printf.sprintf "push %d" i | Pop -> "pop" | Steal -> "steal")
+       ops)
+
+let prop_deque_model =
+  QCheck2.Test.make ~name:"deque agrees with two-ended list model" ~count:300
+    ~print:pp_ops gen_ops (fun ops ->
+      let d = Deque.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          let ok =
+            match op with
+            | Push i ->
+              Deque.push d i;
+              model := !model @ [ i ];
+              true
+            | Pop -> (
+              let got = Deque.pop d in
+              match List.rev !model with
+              | [] -> got = None
+              | last :: rev_rest ->
+                model := List.rev rev_rest;
+                got = Some last)
+            | Steal -> (
+              let got = Deque.steal d in
+              match !model with
+              | [] -> got = None
+              | first :: rest ->
+                model := rest;
+                got = Some first)
+          in
+          let sz = Deque.size d in
+          ok && sz = List.length !model && sz >= 0)
+        ops)
+
+(* --------------- concurrent exactly-once delivery ------------------- *)
+
+(* 1 owner + [n_thieves] thieves over [n] items (default 20k: the
+   capacity-16 deque grows ~10 times under live stealing).  Each domain
+   keeps a private list of the items it consumed; after joining, the
+   multiset union must be exactly {0, ..., n-1}.  Every participant also
+   samples [size] and fails on a negative reading. *)
+
+let stress_once ~n ~n_thieves =
+  let d = Deque.create () in
+  let produced = Atomic.make false in
+  let neg_size = Atomic.make false in
+  let sample_size () = if Deque.size d < 0 then Atomic.set neg_size true in
+  let thief () =
+    let mine = ref [] in
+    let rec loop () =
+      sample_size ();
+      match Deque.steal d with
+      | Some v ->
+        mine := v :: !mine;
+        loop ()
+      | None ->
+        if not (Atomic.get produced) then begin
+          Domain.cpu_relax ();
+          loop ()
+        end
+        else
+          (* producer is done: one last sweep to drain stragglers *)
+          let rec drain () =
+            match Deque.steal d with
+            | Some v ->
+              mine := v :: !mine;
+              drain ()
+            | None -> ()
+          in
+          drain ()
+    in
+    loop ();
+    !mine
+  in
+  let thieves = List.init n_thieves (fun _ -> Domain.spawn thief) in
+  let own = ref [] in
+  for i = 0 to n - 1 do
+    Deque.push d i;
+    sample_size ();
+    (* interleave owner pops so the last-element CAS race gets exercised *)
+    if i land 7 = 0 then
+      match Deque.pop d with
+      | Some v -> own := v :: !own
+      | None -> ()
+  done;
+  Atomic.set produced true;
+  let rec drain () =
+    match Deque.pop d with
+    | Some v ->
+      own := v :: !own;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let stolen = List.concat_map Domain.join thieves in
+  (* the owner's final drain can race with the thieves' last sweeps, so
+     re-drain after joining to be sure nothing is left behind *)
+  drain ();
+  Alcotest.(check bool) "size never negative" false (Atomic.get neg_size);
+  let all = List.sort compare (List.rev_append !own stolen) in
+  Alcotest.(check int) "exactly-once: count" n (List.length all);
+  List.iteri
+    (fun i v ->
+      if i <> v then
+        Alcotest.failf "exactly-once: expected %d at position %d, got %d" i i v)
+    all
+
+let test_stress_concurrent () =
+  for _ = 1 to stress_iters do
+    stress_once ~n:20_000 ~n_thieves:4
+  done
+
+let test_stress_thief_heavy () =
+  (* thieves only: the owner never pops, so every item crosses the top
+     end while the buffer is growing underneath the thieves *)
+  for _ = 1 to stress_iters do
+    let d = Deque.create () in
+    let n = 10_000 in
+    let produced = Atomic.make false in
+    let thief () =
+      let mine = ref 0 and sum = ref 0 in
+      let rec loop () =
+        match Deque.steal d with
+        | Some v ->
+          incr mine;
+          sum := !sum + v;
+          loop ()
+        | None ->
+          if not (Atomic.get produced) then begin
+            Domain.cpu_relax ();
+            loop ()
+          end
+          else
+            let rec drain () =
+              match Deque.steal d with
+              | Some v ->
+                incr mine;
+                sum := !sum + v;
+                drain ()
+              | None -> ()
+            in
+            drain ()
+      in
+      loop ();
+      (!mine, !sum)
+    in
+    let thieves = List.init 4 (fun _ -> Domain.spawn thief) in
+    for i = 1 to n do
+      Deque.push d i
+    done;
+    Atomic.set produced true;
+    let counts = List.map Domain.join thieves in
+    let total = List.fold_left (fun a (c, _) -> a + c) 0 counts in
+    let sum = List.fold_left (fun a (_, s) -> a + s) 0 counts in
+    Alcotest.(check int) "thief-only: all delivered" n total;
+    Alcotest.(check int) "thief-only: sum preserved" (n * (n + 1) / 2) sum
+  done
+
+(* -------------------- executor equivalence -------------------------- *)
+
+(* Both real executors must agree with the serial reference for every
+   (workers, grain) combination, including grains small enough to leave
+   most of the DAG at vertex granularity and grains larger than the
+   whole program (fully serial coarse task). *)
+
+let equiv_check name w run tol =
+  let p = Workload.compile w in
+  w.Workload.reset ();
+  run p;
+  let err = w.Workload.check () in
+  if err > tol then Alcotest.failf "%s: err %g > %g" name err tol
+
+let grains = [ 0; 1; 17; 300; max_int ]
+
+let test_dataflow_equivalence () =
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun grain ->
+          let tag k =
+            Printf.sprintf "%s w=%d g=%d" k workers
+              (if grain = max_int then -1 else grain)
+          in
+          equiv_check (tag "mm")
+            (Matmul.workload ~n:16 ~base:2 ~seed:61 ())
+            (Executor.run_dataflow ~workers ~grain)
+            1e-9;
+          equiv_check (tag "trs")
+            (Trs.workload ~n:16 ~base:2 ~seed:62 ())
+            (Executor.run_dataflow ~workers ~grain)
+            1e-8;
+          equiv_check (tag "lcs")
+            (Lcs.workload ~n:32 ~base:4 ~seed:63 ())
+            (Executor.run_dataflow ~workers ~grain)
+            0.)
+        grains)
+    [ 1; 2; 8 ]
+
+let test_fork_join_equivalence () =
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun grain ->
+          let tag k =
+            Printf.sprintf "%s w=%d g=%d" k workers
+              (if grain = max_int then -1 else grain)
+          in
+          equiv_check (tag "mm")
+            (Matmul.workload ~n:16 ~base:2 ~seed:71 ())
+            (Executor.run_fork_join ~workers ~grain)
+            1e-9;
+          equiv_check (tag "cholesky")
+            (Cholesky.workload ~n:16 ~base:2 ~seed:72 ())
+            (Executor.run_fork_join ~workers ~grain)
+            1e-8;
+          equiv_check (tag "fw1d")
+            (Fw1d.workload ~n:32 ~base:4 ~seed:73 ())
+            (Executor.run_fork_join ~workers ~grain)
+            0.)
+        grains)
+    [ 1; 2; 8 ]
+
+let () =
+  Alcotest.run "nd_stress"
+    [
+      ( "deque",
+        [
+          QCheck_alcotest.to_alcotest prop_deque_model;
+          Alcotest.test_case "concurrent exactly-once (owner+4 thieves)" `Quick
+            test_stress_concurrent;
+          Alcotest.test_case "thief-only delivery across growth" `Quick
+            test_stress_thief_heavy;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "dataflow = serial over workers x grain" `Quick
+            test_dataflow_equivalence;
+          Alcotest.test_case "fork-join = serial over workers x grain" `Quick
+            test_fork_join_equivalence;
+        ] );
+    ]
