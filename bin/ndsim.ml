@@ -26,8 +26,12 @@ let np_arg =
   Arg.(value & flag & info [ "np" ] ~doc:"Use the nested-parallel projection (fires serialized).")
 
 let build_workload algo n base seed =
-  let fam = Nd_experiments.Workloads.find algo in
-  Nd_experiments.Workloads.build ?n ?base fam ~seed
+  match Nd_experiments.Workloads.find algo with
+  | fam -> Nd_experiments.Workloads.build ?n ?base fam ~seed
+  | exception Not_found ->
+    Format.eprintf "unknown algorithm %s; expected one of %s@." algo
+      (String.concat ", " (Nd_experiments.Workloads.names ()));
+    exit 2
 
 let mode_of np = if np then Workload.NP else Workload.ND
 
@@ -376,6 +380,120 @@ let suite_cmd =
              JSON (one file per experiment).")
     Term.(const run $ which $ json_arg)
 
+(* ------------------------------ fuzz ------------------------------- *)
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(value & opt int 100
+         & info [ "count"; "c" ] ~docv:"N" ~doc:"Number of generated programs.")
+  in
+  let fuzz_seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Base seed; case $(i) uses SEED + $(i), so any failure is \
+                   replayable in isolation.")
+  in
+  let depth_arg =
+    Arg.(value & opt int Nd_check.Gen.default_params.max_depth
+         & info [ "max-depth" ] ~docv:"D"
+             ~doc:"Generator recursion depth bound (affects generation: \
+                   replay with the same value).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some int) None
+         & info [ "replay" ] ~docv:"SEED"
+             ~doc:"Re-run the single case at SEED verbosely and exit.")
+  in
+  let workers_arg =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"W"
+             ~doc:"Override the real-executor worker sweep with just W.")
+  in
+  let failures_arg =
+    Arg.(value & opt (some string) None
+         & info [ "failures-file" ] ~docv:"FILE"
+             ~doc:"Append each failing seed to FILE (for CI artifacts).")
+  in
+  let run count seed max_depth replay workers failures_file =
+    let params = { Nd_check.Gen.default_params with max_depth } in
+    let config =
+      match workers with
+      | None -> Nd_check.Oracle.default_config
+      | Some w ->
+        { Nd_check.Oracle.default_config with exec_workers = [ w ] }
+    in
+    let still_fails s =
+      match Nd_check.Oracle.check_spec ~config s with
+      | Ok _ -> false
+      | Error _ -> true
+    in
+    let report_failure ~seed spec failure =
+      Format.printf "@.seed %d FAILED: %a@." seed Nd_check.Oracle.pp_failure
+        failure;
+      let shrunk = Nd_check.Gen.shrink spec ~still_fails in
+      let shrunk_failure =
+        match Nd_check.Oracle.check_spec ~config shrunk with
+        | Error f -> f
+        | Ok _ -> failure
+        (* shrinking raced a flaky check; show the original *)
+      in
+      Format.printf "shrunk program (%d leaves, still fails with [%s]):@.%a@."
+        (Nd_check.Gen.n_leaves shrunk)
+        shrunk_failure.Nd_check.Oracle.stage Nd_check.Gen.pp shrunk;
+      Format.printf "replay: ndsim fuzz --replay %d%s@." seed
+        (if max_depth <> Nd_check.Gen.default_params.max_depth then
+           Printf.sprintf " --max-depth %d" max_depth
+         else "");
+      match failures_file with
+      | None -> ()
+      | Some file ->
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+        Printf.fprintf oc "%d\n" seed;
+        close_out oc
+    in
+    match replay with
+    | Some seed -> (
+      let spec = Nd_check.Gen.generate ~seed ~params () in
+      Format.printf "seed %d generates:@.%a@." seed Nd_check.Gen.pp spec;
+      match Nd_check.Oracle.check_spec ~config spec with
+      | Ok r ->
+        Format.printf
+          "ok: %d vertices, %d leaves, work=%d span=%d, race_free=%b, %d \
+           paths agree@."
+          r.n_vertices r.n_leaves r.work r.span r.race_free r.paths
+      | Error f ->
+        report_failure ~seed spec f;
+        exit 1)
+    | None ->
+      let failed = ref 0 and race_free = ref 0 and paths = ref 0 in
+      for i = 0 to count - 1 do
+        let case_seed = seed + i in
+        let spec = Nd_check.Gen.generate ~seed:case_seed ~params () in
+        (match Nd_check.Oracle.check_spec ~config spec with
+        | Ok r ->
+          if r.race_free then incr race_free;
+          paths := !paths + r.paths
+        | Error f ->
+          incr failed;
+          report_failure ~seed:case_seed spec f);
+        if (i + 1) mod 100 = 0 then
+          Format.printf "  %d/%d cases, %d failures@." (i + 1) count !failed
+      done;
+      Format.printf
+        "fuzz: %d programs (seeds %d..%d), %d race-free, %d execution paths \
+         checked, %d failures@."
+        count seed (seed + count - 1) !race_free !paths !failed;
+      if !failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Generative conformance fuzzing: random ND programs through the \
+             cross-executor differential oracle (serial, greedy, \
+             space-bounded, work-stealing, real dataflow/fork-join), with \
+             shrinking and per-seed replay.")
+    Term.(const run $ count_arg $ fuzz_seed_arg $ depth_arg $ replay_arg
+          $ workers_arg $ failures_arg)
+
 let () =
   let doc = "Nested Dataflow model: analysis, simulation and experiments" in
   let info = Cmd.info "ndsim" ~version:"1.0.0" ~doc in
@@ -383,4 +501,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ span_cmd; race_cmd; sb_cmd; check_cmd; drs_cmd; trace_cmd;
-            experiments_cmd; suite_cmd ]))
+            experiments_cmd; suite_cmd; fuzz_cmd ]))

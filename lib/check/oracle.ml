@@ -1,0 +1,299 @@
+module Dag = Nd_dag.Dag
+module Race = Nd_dag.Race
+module Pmh = Nd_pmh.Pmh
+module Greedy = Nd_sched.Greedy
+module Sb = Nd_sched.Sb_sched
+module Ws = Nd_sched.Work_steal
+module Executor = Nd_runtime.Executor
+module Prng = Nd_util.Prng
+
+type config = {
+  procs : int list;
+  sigmas : float list;
+  sb_modes : Sb.mode list;
+  ws_seeds : int list;
+  exec_workers : int list;
+  grains : int list;
+  machine : Pmh.t;
+  serial_orders : int;
+  explore_seeds : int list;
+  check_miss_monotone : bool;
+}
+
+let default_config =
+  {
+    procs = [ 1; 2; 5 ];
+    sigmas = [ 0.34; 0.5; 1.0 ];
+    sb_modes = [ Sb.Coarse; Sb.Fine ];
+    ws_seeds = [ 1; 2 ];
+    exec_workers = [ 1; 2; 4 ];
+    grains = [ 0; 8 ];
+    machine =
+      Pmh.create ~root_fanout:2
+        [
+          { size = 16; fanout = 2; miss_cost = 2 };
+          { size = 128; fanout = 2; miss_cost = 8 };
+        ];
+    serial_orders = 3;
+    explore_seeds = [ 1 ];
+    check_miss_monotone = true;
+  }
+
+type report = {
+  n_vertices : int;
+  n_leaves : int;
+  work : int;
+  span : int;
+  race_free : bool;
+  n_races : int;
+  paths : int;
+}
+
+type failure = { stage : string; message : string }
+
+let pp_failure ppf f = Format.fprintf ppf "[%s] %s" f.stage f.message
+
+exception Fail of failure
+
+let fail stage fmt = Printf.ksprintf (fun message -> raise (Fail { stage; message })) fmt
+
+let guard stage f =
+  try f ()
+  with
+  | Fail _ as e -> raise e
+  | e -> fail stage "raised %s" (Printexc.to_string e)
+
+(* ----------------------- structural invariants ----------------------- *)
+
+let check_structure program tree_work =
+  let dag = Nd.Program.dag program in
+  let work = Dag.work dag in
+  let span = Dag.span dag in
+  guard "structure" (fun () -> ignore (Dag.topo_order dag));
+  if work <> tree_work then
+    fail "structure" "DAG work %d <> spawn-tree work %d (work not conserved)"
+      work tree_work;
+  if span > work then fail "structure" "span %d > work %d" span work;
+  (work, span)
+
+(* ------------------------- simulated paths --------------------------- *)
+
+let lb ~work ~span p = max span ((work + p - 1) / p)
+
+let check_greedy cfg program ~work ~span =
+  List.iter
+    (fun p ->
+      let stage = Printf.sprintf "greedy p=%d" p in
+      let s = guard stage (fun () -> Greedy.run ~procs:p program) in
+      if s.Greedy.work <> work then
+        fail stage "reported work %d <> %d" s.Greedy.work work;
+      if s.Greedy.span <> span then
+        fail stage "reported span %d <> %d" s.Greedy.span span;
+      if s.Greedy.time < lb ~work ~span p then
+        fail stage "time %d below lower bound %d" s.Greedy.time
+          (lb ~work ~span p);
+      if s.Greedy.time > Greedy.brent_bound s then
+        fail stage "time %d violates Brent bound %d" s.Greedy.time
+          (Greedy.brent_bound s))
+    cfg.procs;
+  List.length cfg.procs
+
+let mode_name = function Sb.Coarse -> "coarse" | Sb.Fine -> "fine"
+
+let check_sb cfg program ~work ~span =
+  let paths = ref 0 in
+  List.iter
+    (fun mode ->
+      let prev = ref None in
+      (* ascending sigmas: ρ misses must not increase *)
+      List.iter
+        (fun sigma ->
+          incr paths;
+          let stage =
+            Printf.sprintf "sb sigma=%.2f %s" sigma (mode_name mode)
+          in
+          let s =
+            guard stage (fun () ->
+                Sb.run ~sigma ~mode ~accounting:Sb.Rho program cfg.machine)
+          in
+          if s.Sb.work <> work then
+            fail stage "reported work %d <> %d" s.Sb.work work;
+          if s.Sb.busy < work then
+            fail stage "busy %d < work %d (lost busy time)" s.Sb.busy work;
+          if s.Sb.time < span then
+            fail stage "time %d < span %d" s.Sb.time span;
+          (if cfg.check_miss_monotone then
+             match !prev with
+             | Some (psigma, pm) ->
+               Array.iteri
+                 (fun j m ->
+                   if m > pm.(j) then
+                     fail stage
+                       "level-%d misses grew from %d (sigma=%.2f) to %d: ρ \
+                        misses must be non-increasing in sigma"
+                       (j + 1) pm.(j) psigma m)
+                 s.Sb.misses
+             | None -> ());
+          prev := Some (sigma, s.Sb.misses))
+        cfg.sigmas)
+    cfg.sb_modes;
+  !paths
+
+let check_ws cfg program ~work ~span =
+  List.iter
+    (fun seed ->
+      let stage = Printf.sprintf "ws seed=%d" seed in
+      let s = guard stage (fun () -> Ws.run ~seed program cfg.machine) in
+      if s.Ws.work <> work then
+        fail stage "reported work %d <> %d" s.Ws.work work;
+      if s.Ws.busy < work then fail stage "busy %d < work %d" s.Ws.busy work;
+      if s.Ws.time < span then fail stage "time %d < span %d" s.Ws.time span)
+    cfg.ws_seeds;
+  List.length cfg.ws_seeds
+
+(* ------------------------- executing paths ---------------------------- *)
+
+(* [reset] restores inputs, [verify stage] checks observables; both are
+   supplied by the spec/workload front ends. *)
+let check_executing cfg program ~reset ~verify =
+  let paths = ref 0 in
+  let run_path stage f =
+    incr paths;
+    reset ();
+    guard stage f;
+    verify stage
+  in
+  (* randomized topological orders through the serial executor *)
+  for i = 1 to cfg.serial_orders do
+    run_path
+      (Printf.sprintf "serial order=%d" i)
+      (fun () -> Nd.Serial_exec.run ~rng:(Prng.create (0x5e1 + i)) program)
+  done;
+  (* real executors: dataflow (ND) and fork-join (NP projection; a
+     linear extension of the same DAG, so the same oracle applies) *)
+  List.iter
+    (fun w ->
+      List.iter
+        (fun g ->
+          run_path
+            (Printf.sprintf "dataflow w=%d g=%d" w g)
+            (fun () -> Executor.run_dataflow ~workers:w ~grain:g program);
+          run_path
+            (Printf.sprintf "forkjoin w=%d g=%d" w g)
+            (fun () -> Executor.run_fork_join ~workers:w ~grain:g program))
+        cfg.grains)
+    cfg.exec_workers;
+  (* controlled interleavings of the dataflow engine *)
+  if cfg.explore_seeds <> [] then begin
+    incr paths;
+    let check () =
+      match verify "explore" with
+      | () -> Ok ()
+      | exception Fail f -> Error f.message
+    in
+    match
+      Explore.explore_program ~workers:2
+        ~mode:(Explore.Random { seeds = cfg.explore_seeds })
+        ~reset ~check program
+    with
+    | Ok _ -> ()
+    | Error f ->
+      fail "explore" "%s" (Format.asprintf "%a" Explore.pp_failure f)
+  end;
+  !paths
+
+(* ------------------------------ fronts ------------------------------- *)
+
+let run_oracle cfg program ~tree_work ~races_fail ~reset ~reference ~verify =
+  try
+    let work, span = check_structure program tree_work in
+    let races = guard "race" (fun () -> Race.find_races (Nd.Program.dag program)) in
+    if races_fail && races <> [] then
+      fail "race" "expected race-free, found %d (first: %s)"
+        (List.length races)
+        (Format.asprintf "%a" (Race.pp_race (Nd.Program.dag program))
+           (List.hd races));
+    (* serial elision first: it defines the reference observables *)
+    reset ();
+    guard "serial elision" (fun () -> Nd.Serial_exec.run_sequential program);
+    reference ();
+    verify "serial elision";
+    let paths =
+      1
+      + check_greedy cfg program ~work ~span
+      + check_sb cfg program ~work ~span
+      + check_ws cfg program ~work ~span
+      + check_executing cfg program ~reset ~verify
+    in
+    Ok
+      {
+        n_vertices = Dag.n_vertices (Nd.Program.dag program);
+        n_leaves = Nd.Program.n_leaves program;
+        work;
+        span;
+        race_free = races = [];
+        n_races = List.length races;
+        paths;
+      }
+  with Fail f -> Error f
+
+let check_instance ?(config = default_config) (inst : Gen.instance) =
+  match Nd.Program.compile ~registry:inst.registry inst.tree with
+  | exception e -> Error { stage = "compile"; message = Printexc.to_string e }
+  | program ->
+  (* memory equality is only promised for race-free programs; compute
+     the flag before any executing path needs it (a detector overflow
+     counts as "unknown", which skips the memory check, not the rest) *)
+  let race_free =
+    try Race.race_free (Nd.Program.dag program) with _ -> false
+  in
+  let reference = ref [||] in
+  let verify stage =
+    Array.iteri
+      (fun i c ->
+        let n = Atomic.get c in
+        if n <> 1 then
+          fail stage "strand %d executed %d times (want exactly once)" i n)
+      inst.counts;
+    if race_free && !reference <> [||] && inst.memory <> !reference then begin
+      let i = ref 0 in
+      while inst.memory.(!i) = !reference.(!i) do
+        incr i
+      done;
+      fail stage
+        "race-free program diverged from serial elision at address %d (%d <> \
+         %d)"
+        !i inst.memory.(!i) !reference.(!i)
+    end
+  in
+  match
+    run_oracle config program
+      ~tree_work:(Nd.Spawn_tree.work inst.tree)
+      ~races_fail:false
+      ~reset:(fun () -> Gen.reset inst)
+      ~reference:(fun () -> reference := Array.copy inst.memory)
+      ~verify
+  with
+  | r -> r
+  | exception Fail f -> Error f
+
+let check_spec ?config spec = check_instance ?config (Gen.build spec)
+
+let check_workload ?(config = default_config) ?(tol = 1e-6)
+    (w : Nd_algos.Workload.t) =
+  let program = Nd_algos.Workload.compile w in
+  let verify stage =
+    let dev = w.check () in
+    if not (dev <= tol) then
+      fail stage "%s n=%d: deviation %g exceeds tolerance %g" w.name w.n dev
+        tol
+  in
+  match
+    run_oracle config program
+      ~tree_work:(Nd.Spawn_tree.work w.tree)
+      ~races_fail:true ~reset:w.reset
+      ~reference:(fun () -> ())
+      ~verify
+  with
+  | r -> r
+  | exception Fail f -> Error f

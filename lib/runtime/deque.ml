@@ -47,6 +47,38 @@ type 'a buffer = {
   prev : 'a buffer option; (* retired generations, kept reachable *)
 }
 
+(* ------------------------- test-only hooks -------------------------- *)
+
+(* The conformance explorer (Nd_check.Explore) runs the deque on a
+   single domain inside effect-based fibers and needs a preemption
+   point between the individual loads/stores of each operation, so a
+   controlled scheduler can enumerate the interleavings that real
+   domains would only hit by timing luck.  [yield] is called at every
+   linearization-relevant step with a label naming it; the production
+   cost with the hook unset is one immediate-ref load and branch per
+   point, on operations that already perform several atomic accesses.
+
+   [drop_retired] re-introduces the pre-hardening bug class: [grow] no
+   longer links the retired buffer from its replacement, and the
+   retirement is made observable by clearing the old slots — modelling
+   the recycling that retention exists to prevent (under retention the
+   GC cannot reclaim a generation a racing thief still reads; without
+   it, this clear is exactly what a reuse/reclaim would do to the
+   thief).  Used by the mutation smoke test to prove the explorer can
+   detect this class of bug.  Never enable outside tests. *)
+module Hooks = struct
+  let yield : (string -> unit) option ref = ref None
+
+  let drop_retired = ref false
+
+  let set_yield f = yield := f
+
+  let set_drop_retired b = drop_retired := b
+end
+
+let[@inline] yield_point what =
+  match !Hooks.yield with None -> () | Some f -> f what
+
 type 'a t = {
   top : int Atomic.t;
   bottom : int Atomic.t;
@@ -77,11 +109,21 @@ let checked = function Some _ as x -> x | None -> lost_item ()
    triggered the growth is written, so thieves only ever see fully
    initialized generations. *)
 let grow t b top bottom =
-  let nb = make_buffer ~prev:b (2 * (b.mask + 1)) in
+  let retain = not !Hooks.drop_retired in
+  let nb =
+    if retain then make_buffer ~prev:b (2 * (b.mask + 1))
+    else make_buffer (2 * (b.mask + 1))
+  in
   for i = top to bottom - 1 do
     buf_set nb i (buf_get b i)
   done;
   Atomic.set t.buf nb;
+  if not retain then begin
+    (* test-only mutation: the retired generation is reclaimed while a
+       thief may still hold it — see Hooks above *)
+    yield_point "grow.recycle";
+    Array.fill b.data 0 (Array.length b.data) None
+  end;
   nb
 
 let push t x =
@@ -90,6 +132,7 @@ let push t x =
   let buf = Atomic.get t.buf in
   let buf = if b - tp > buf.mask then grow t buf tp b else buf in
   buf_set buf b (Some x);
+  yield_point "push.slot";
   (* release: the slot write above becomes visible to any thief that
      subsequently observes bottom = b + 1 *)
   Atomic.set t.bottom (b + 1)
@@ -101,6 +144,7 @@ let pop t =
      t < b test excludes index b, so the owner owns the slot unless the
      deque is down to its last element *)
   Atomic.set t.bottom b;
+  yield_point "pop.reserve";
   let tp = Atomic.get t.top in
   if b < tp then begin
     (* empty: restore the canonical empty state bottom = top *)
@@ -116,6 +160,7 @@ let pop t =
   end
   else begin
     (* last element: race thieves with the same CAS they use *)
+    yield_point "pop.last";
     let won = Atomic.compare_and_set t.top tp (tp + 1) in
     let x =
       if won then begin
@@ -139,7 +184,9 @@ let steal t =
        the CAS then certifies top was [tp] throughout, which (with the
        capacity bound, see header) pins the slot's value *)
     let buf = Atomic.get t.buf in
+    yield_point "steal.slot";
     let x = buf_get buf tp in
+    yield_point "steal.cas";
     if Atomic.compare_and_set t.top tp (tp + 1) then checked x else None
   end
 

@@ -29,3 +29,28 @@ val steal : 'a t -> 'a option
 (** [size t] — instantaneous size (approximate under concurrency;
     never negative: [top] is read first and only ever grows). *)
 val size : 'a t -> int
+
+(** {2 Test-only hooks}
+
+    Verification seams for the conformance harness ([Nd_check]); never
+    set these in production code. *)
+module Hooks : sig
+  (** [set_yield (Some f)] installs a preemption callback invoked (with
+      a label naming the point) between the individual loads/stores of
+      {!push}, {!pop}, {!steal} and the internal grow — the explorer
+      performs an effect there to hand control back to its scheduler,
+      so a single domain can enumerate the interleavings real domains
+      only hit by timing.  With the hook unset (the default) each
+      point costs one immediate-ref load and branch. *)
+  val set_yield : (string -> unit) option -> unit
+
+  (** [set_drop_retired true] re-introduces the pre-hardening bug
+      class behind the retired-buffer retention: grow stops linking
+      the old generation and makes its retirement observable by
+      clearing the old slots (modelling the reclaim that retention
+      prevents).  A thief suspended between its buffer read and slot
+      read then consumes a cleared slot and trips the hard
+      [lost_item] failure.  Exists solely so the mutation smoke test
+      can prove the explorer detects this bug class. *)
+  val set_drop_retired : bool -> unit
+end

@@ -196,63 +196,152 @@ let coarse_plan program ~grain =
    The wake-up loop is allocation-free: an int-array scan plus one
    atomic decrement per multi-predecessor edge (single-predecessor
    targets skip the RMW entirely — the one completing predecessor is
-   the unique enabler). *)
-let run_tasks ~nw ~tracer ~traced ~succ_off ~succ_tgt ~indeg0 ~exec
-    ~steal_vertex =
-  let n = Array.length indeg0 in
-  let counters = Array.map Atomic.make indeg0 in
-  let remaining = Atomic.make n in
-  let deques = Array.init nw (fun _ -> Deque.create ()) in
-  let seed_slot = ref 0 in
-  for v = 0 to n - 1 do
-    if indeg0.(v) = 0 then begin
-      Deque.push deques.(!seed_slot mod nw) v;
-      incr seed_slot
-    end
-  done;
-  if traced then
-    Trace.emit_now tracer ~worker:0 (Nd_trace.Event.Spawn { count = !seed_slot });
-  let run wid v =
-    exec wid v;
-    Atomic.decr remaining;
-    let lo = Array.unsafe_get succ_off v
-    and hi = Array.unsafe_get succ_off (v + 1) in
+   the unique enabler).
+
+   The engine is a first-class value (exposed in the interface) so the
+   conformance harness can drive the exact same wake-up loop and deque
+   discipline from a single-domain controlled scheduler: [run_dataflow]
+   advances it with one domain per worker, [Nd_check.Explore] advances
+   it with one fiber per worker and picks the interleaving itself. *)
+module Engine = struct
+  type t = {
+    n : int;
+    nw : int;
+    counters : int Atomic.t array;
+    remaining : int Atomic.t;
+    deques : int Deque.t array;
+    succ_off : int array;
+    succ_tgt : int array;
+    indeg0 : int array;
+    exec : int -> int -> unit;
+    steal_vertex : int -> int option;
+    tracer : Trace.t;
+    traced : bool;
+  }
+
+  let make_raw ~nw ~tracer ~traced ~succ_off ~succ_tgt ~indeg0 ~exec
+      ~steal_vertex =
+    let n = Array.length indeg0 in
+    let eng =
+      {
+        n;
+        nw;
+        counters = Array.map Atomic.make indeg0;
+        remaining = Atomic.make n;
+        deques = Array.init nw (fun _ -> Deque.create ());
+        succ_off;
+        succ_tgt;
+        indeg0;
+        exec;
+        steal_vertex;
+        tracer;
+        traced;
+      }
+    in
+    let seed_slot = ref 0 in
+    for v = 0 to n - 1 do
+      if indeg0.(v) = 0 then begin
+        Deque.push eng.deques.(!seed_slot mod nw) v;
+        incr seed_slot
+      end
+    done;
+    if traced then
+      Trace.emit_now tracer ~worker:0
+        (Nd_trace.Event.Spawn { count = !seed_slot });
+    eng
+
+  let n_workers eng = eng.nw
+
+  let n_tasks eng = eng.n
+
+  let remaining eng = Atomic.get eng.remaining
+
+  let finished eng = Atomic.get eng.remaining = 0
+
+  let run_task eng wid v =
+    eng.exec wid v;
+    Atomic.decr eng.remaining;
+    let lo = Array.unsafe_get eng.succ_off v
+    and hi = Array.unsafe_get eng.succ_off (v + 1) in
     for i = lo to hi - 1 do
-      let s = Array.unsafe_get succ_tgt i in
+      let s = Array.unsafe_get eng.succ_tgt i in
       let ready =
-        Array.unsafe_get indeg0 s = 1
-        || Atomic.fetch_and_add (Array.unsafe_get counters s) (-1) = 1
+        Array.unsafe_get eng.indeg0 s = 1
+        || Atomic.fetch_and_add (Array.unsafe_get eng.counters s) (-1) = 1
       in
       if ready then begin
-        Deque.push (Array.unsafe_get deques wid) s;
-        if traced then
-          Trace.emit_now tracer ~worker:wid
+        Deque.push (Array.unsafe_get eng.deques wid) s;
+        if eng.traced then
+          Trace.emit_now eng.tracer ~worker:wid
             (Nd_trace.Event.Fire { target = s; level = 0 })
       end
     done
-  in
+
+  let try_pop eng wid =
+    match Deque.pop eng.deques.(wid) with
+    | Some v ->
+      run_task eng wid v;
+      true
+    | None -> false
+
+  let try_steal eng ~thief ~victim =
+    match Deque.steal eng.deques.(victim) with
+    | Some v ->
+      if eng.traced then
+        Trace.emit_now eng.tracer ~worker:thief
+          (Nd_trace.Event.Steal_success
+             { victim; vertex = eng.steal_vertex v });
+      run_task eng thief v;
+      true
+    | None -> false
+end
+
+let act program ~tracer ~traced wid v =
+  let n = Program.vertex_owner program v in
+  if n >= 0 then
+    match Program.kind_of program n with
+    | Program.Leaf s -> exec_strand ~tracer ~traced wid v s
+    | Program.Seq | Program.Par | Program.Fire _ -> ()
+
+let make_engine ?workers ?(grain = 0) ?(tracer = Trace.null) program =
+  let nw = match workers with Some w -> max 1 w | None -> default_workers () in
+  let traced = Trace.enabled tracer in
+  if grain > 0 then
+    let plan = coarse_plan program ~grain in
+    Engine.make_raw ~nw ~tracer ~traced ~succ_off:plan.succ_off
+      ~succ_tgt:plan.succ_tgt ~indeg0:plan.indeg
+      ~exec:(fun wid t ->
+        match plan.kinds.(t) with
+        | Tvertex v -> act program ~tracer ~traced wid v
+        | Tleaves { lo; hi } ->
+          exec_leaf_range program ~tracer ~traced wid lo hi)
+      ~steal_vertex:(fun t ->
+        match plan.kinds.(t) with Tvertex v -> Some v | Tleaves _ -> None)
+  else
+    let c = Dag.csr (Program.dag program) in
+    Engine.make_raw ~nw ~tracer ~traced ~succ_off:c.Dag.succ_off
+      ~succ_tgt:c.Dag.succ_tgt ~indeg0:c.Dag.indeg
+      ~exec:(act program ~tracer ~traced)
+      ~steal_vertex:(fun v -> Some v)
+
+let run_dataflow ?workers ?grain ?(tracer = Trace.null) program =
+  let eng = make_engine ?workers ?grain ~tracer program in
+  let nw = Engine.n_workers eng in
+  let traced = Trace.enabled tracer in
   let cap = spin_cap ~nw in
   let worker wid () =
     let spin = ref 0 in
-    while Atomic.get remaining > 0 do
-      match Deque.pop deques.(wid) with
-      | Some v ->
-        spin := 0;
-        run wid v
-      | None ->
+    while not (Engine.finished eng) do
+      if Engine.try_pop eng wid then spin := 0
+      else begin
         let stolen = ref false in
         let i = ref 1 in
         while (not !stolen) && !i < nw do
-          (match Deque.steal deques.((wid + !i) mod nw) with
-          | Some v ->
+          if Engine.try_steal eng ~thief:wid ~victim:((wid + !i) mod nw)
+          then begin
             stolen := true;
-            if traced then
-              Trace.emit_now tracer ~worker:wid
-                (Nd_trace.Event.Steal_success
-                   { victim = (wid + !i) mod nw; vertex = steal_vertex v });
-            spin := 0;
-            run wid v
-          | None -> ());
+            spin := 0
+          end;
           incr i
         done;
         if not !stolen then begin
@@ -262,42 +351,13 @@ let run_tasks ~nw ~tracer ~traced ~succ_off ~succ_tgt ~indeg0 ~exec
               (Nd_trace.Event.Steal_attempt { victim = -1 });
           backoff ~spin_cap:cap spin
         end
+      end
     done
   in
   let domains = List.init (nw - 1) (fun i -> Domain.spawn (worker (i + 1))) in
   worker 0 ();
   List.iter Domain.join domains;
-  assert (Atomic.get remaining = 0)
-
-let act program ~tracer ~traced wid v =
-  let n = Program.vertex_owner program v in
-  if n >= 0 then
-    match Program.kind_of program n with
-    | Program.Leaf s -> exec_strand ~tracer ~traced wid v s
-    | Program.Seq | Program.Par | Program.Fire _ -> ()
-
-let run_dataflow ?workers ?(grain = 0) ?(tracer = Trace.null) program =
-  let nw = match workers with Some w -> max 1 w | None -> default_workers () in
-  let traced = Trace.enabled tracer in
-  if grain > 0 then begin
-    let plan = coarse_plan program ~grain in
-    run_tasks ~nw ~tracer ~traced ~succ_off:plan.succ_off
-      ~succ_tgt:plan.succ_tgt ~indeg0:plan.indeg
-      ~exec:(fun wid t ->
-        match plan.kinds.(t) with
-        | Tvertex v -> act program ~tracer ~traced wid v
-        | Tleaves { lo; hi } ->
-          exec_leaf_range program ~tracer ~traced wid lo hi)
-      ~steal_vertex:(fun t ->
-        match plan.kinds.(t) with Tvertex v -> Some v | Tleaves _ -> None)
-  end
-  else begin
-    let c = Dag.csr (Program.dag program) in
-    run_tasks ~nw ~tracer ~traced ~succ_off:c.Dag.succ_off
-      ~succ_tgt:c.Dag.succ_tgt ~indeg0:c.Dag.indeg
-      ~exec:(act program ~tracer ~traced)
-      ~steal_vertex:(fun v -> Some v)
-  end
+  assert (Engine.finished eng)
 
 (* ------------------------- fork-join executor ---------------------- *)
 

@@ -63,3 +63,51 @@ val run_fork_join :
     positive integer, otherwise [Domain.recommended_domain_count]
     capped at 8. *)
 val default_workers : unit -> int
+
+(** {2 The dataflow engine as a value}
+
+    The dependence-counting core of {!run_dataflow}, exposed so the
+    conformance harness ([Nd_check.Explore]) can advance the {e exact}
+    production wake-up loop and Chase–Lev deque discipline from a
+    single-domain controlled scheduler.  {!run_dataflow} itself is
+    [make_engine] plus one domain per worker looping
+    [try_pop]/[try_steal] with backoff. *)
+module Engine : sig
+  type t
+
+  (** Number of worker slots (= per-worker deques). *)
+  val n_workers : t -> int
+
+  (** Total schedulable tasks (DAG vertices, or coarse tasks under a
+      grain). *)
+  val n_tasks : t -> int
+
+  (** Tasks not yet executed. *)
+  val remaining : t -> int
+
+  (** All tasks executed: the run is complete. *)
+  val finished : t -> bool
+
+  (** [try_pop eng wid] — worker [wid] pops its own deque; on success
+      the task is executed and its newly enabled successors are pushed
+      back onto [wid]'s deque (the production wake-up loop).  [false]
+      when the deque was empty. *)
+  val try_pop : t -> int -> bool
+
+  (** [try_steal eng ~thief ~victim] — [thief] steals from [victim]'s
+      deque and, on success, executes the task as {!try_pop} does.
+      [false] when the victim looked empty or the race was lost. *)
+  val try_steal : t -> thief:int -> victim:int -> bool
+end
+
+(** [make_engine ?workers ?grain ?tracer program] builds the dataflow
+    engine — counters initialized, sources seeded round-robin onto the
+    deques — without running anything.  Each task must then be executed
+    by exactly one worker via {!Engine.try_pop}/{!Engine.try_steal}
+    until {!Engine.finished}. *)
+val make_engine :
+  ?workers:int ->
+  ?grain:int ->
+  ?tracer:Nd_trace.Collector.t ->
+  Nd.Program.t ->
+  Engine.t

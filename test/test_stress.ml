@@ -5,8 +5,9 @@
    equivalence over workers x grain.
 
    NDSIM_STRESS_ITERS scales the number of repetitions of the
-   concurrent test (default 3, so CI stays fast on small machines; run
-   with e.g. NDSIM_STRESS_ITERS=1000 for a soak). *)
+   concurrent test (default 3, so CI stays fast on small machines; the
+   canonical soak value, used by the nightly CI job, is
+   NDSIM_STRESS_ITERS=1000 — see test/dune). *)
 
 module Deque = Nd_runtime.Deque
 module Executor = Nd_runtime.Executor
