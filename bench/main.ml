@@ -86,6 +86,54 @@ let run_bechamel () =
     (List.sort compare !rows);
   print_newline ()
 
+(* exact reachability checker vs the near-linear ESP-bags detector:
+   wall-clock scaling, including sizes where the exact checker trips its
+   Race.max_vertices cap and only ESP-bags can answer *)
+let run_bench3 () =
+  let table =
+    Nd_util.Table.create ~title:"BENCH_3: exact vs ESP-bags race detection"
+      [ "algo"; "n"; "vertices"; "fire edges"; "exact ms"; "esp ms"; "agree" ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  List.iter
+    (fun (algo, n) ->
+      let fam = Nd_experiments.Workloads.find algo in
+      let w = Nd_experiments.Workloads.build ~n fam ~seed in
+      let p = Workload.compile w in
+      let dag = Nd.Program.dag p in
+      let exact, exact_ms =
+        match time (fun () -> Nd_dag.Race.race_free dag) with
+        | free, ms -> (Some free, Nd_util.Table.cell_float ~prec:1 ms)
+        | exception Nd_dag.Race.Limit_exceeded _ -> (None, "limit")
+      in
+      let esp, esp_ms = time (fun () -> Nd_analyze.Esp_bags.race_free p) in
+      let agree =
+        match exact with
+        | None -> "esp-only"
+        | Some e -> if e = esp then "yes" else "NO"
+      in
+      Nd_util.Table.add_row table
+        [
+          algo;
+          Nd_util.Table.cell_int n;
+          Nd_util.Table.cell_int (Nd_dag.Dag.n_vertices dag);
+          Nd_util.Table.cell_int (List.length (Nd.Program.fire_edges p));
+          exact_ms;
+          Nd_util.Table.cell_float ~prec:1 esp_ms;
+          agree;
+        ])
+    [
+      ("mm", 8); ("mm", 16); ("mm", 32);
+      ("fw1d", 64); ("fw1d", 128); ("fw1d", 256); ("fw1d", 512);
+      ("apsp", 16); ("apsp", 32); ("apsp", 64);
+    ];
+  Nd_util.Table.print table;
+  Nd_util.Table.write_json table "BENCH_3.json"
+
 let () =
   let t0 = Unix.gettimeofday () in
   (* run every experiment; keep the E9 wall-clock table for the
@@ -95,5 +143,6 @@ let () =
       let table = f () in
       if name = "e9" then Nd_util.Table.write_json table "BENCH_2.json")
     Nd_experiments.Suite.all;
+  run_bench3 ();
   run_bechamel ();
   Printf.printf "total bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

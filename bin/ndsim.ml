@@ -125,6 +125,85 @@ let race_cmd =
     Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg
           $ explain_arg $ variant_arg)
 
+(* ------------------------------ lint ------------------------------- *)
+
+let lint_cmd =
+  let module Lint = Nd_analyze.Lint in
+  let module Json = Nd_util.Json in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Lint every algorithm family at its smallest sweep size.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the findings as JSON on stdout.")
+  in
+  let variant_arg =
+    Arg.(value & flag
+         & info [ "literal" ]
+             ~doc:"Lint the paper-literal rule variant where one exists (mm, trs, lcs, fw1d).")
+  in
+  let literal_workload algo n base seed =
+    let n = Option.value n ~default:16 and base = Option.value base ~default:2 in
+    match algo with
+    | "mm" -> Matmul.workload ~variant:Matmul.Literal ~n ~base ~seed ()
+    | "trs" -> Trs.workload ~variant:Trs.Literal ~n ~base ~seed ()
+    | "lcs" -> Lcs.workload ~variant:`Literal ~n ~base ~seed ()
+    | "fw1d" -> Fw1d.workload ~variant:`Literal ~n ~base ~seed ()
+    | other ->
+      Format.eprintf "no literal variant for %s@." other;
+      exit 2
+  in
+  let run algo n base seed all json literal =
+    let targets =
+      if all then
+        List.map
+          (fun fam ->
+            let n = List.hd fam.Nd_experiments.Workloads.sizes in
+            Nd_experiments.Workloads.build ~n fam ~seed)
+          Nd_experiments.Workloads.all
+      else if literal then [ literal_workload algo n base seed ]
+      else [ build_workload algo n base seed ]
+    in
+    let results =
+      List.map
+        (fun w ->
+          (w, Lint.lint_all ~registry:w.Workload.registry w.Workload.tree))
+        targets
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.List
+              (List.map
+                 (fun (w, fs) ->
+                   Json.Obj
+                     [
+                       ("algo", Json.String w.Workload.name);
+                       ("n", Json.Int w.Workload.n);
+                       ("base", Json.Int w.Workload.base);
+                       ("findings", Lint.to_json fs);
+                     ])
+                 results)))
+    else
+      List.iter
+        (fun (w, fs) ->
+          let count s = List.length (List.filter (fun f -> f.Lint.severity = s) fs) in
+          Format.printf "%s n=%d base=%d: %d error(s), %d warning(s)@."
+            w.Workload.name w.Workload.n w.Workload.base (count Lint.Error)
+            (count Lint.Warning);
+          List.iter (fun f -> Format.printf "  %a@." Lint.pp_finding f) fs)
+        results;
+    if List.exists (fun (_, fs) -> Lint.has_errors fs) results then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis: fire-rule linter, footprint conflicts, and \
+             ESP-bags race detection (rule catalogue ND001-ND009).")
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ all_arg
+          $ json_arg $ variant_arg)
+
 (* ------------------------------- sb -------------------------------- *)
 
 let sb_cmd =
@@ -500,5 +579,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ span_cmd; race_cmd; sb_cmd; check_cmd; drs_cmd; trace_cmd;
-            experiments_cmd; suite_cmd; fuzz_cmd ]))
+          [ span_cmd; race_cmd; lint_cmd; sb_cmd; check_cmd; drs_cmd;
+            trace_cmd; experiments_cmd; suite_cmd; fuzz_cmd ]))

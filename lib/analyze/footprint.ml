@@ -1,0 +1,98 @@
+module Is = Nd_util.Interval_set
+module Spawn_tree = Nd.Spawn_tree
+module Strand = Nd.Strand
+module Fire_rule = Nd.Fire_rule
+module Pedigree = Nd.Pedigree
+
+(* Interval-level conflict detection on the bare spawn tree — no DAG, no
+   compilation.  Children of a [Par] node are never cross-ordered by the
+   DRS (fire edges always stay inside one fire construct's src/snk
+   subtrees), so any write/write or read/write footprint overlap between
+   two [Par] siblings is a definite determinacy race.  A [Fire] node
+   whose rule set is empty behaves as "‖" and is checked the same way.
+   [Fire] nodes with rules are left to the ESP-bags pass: whether their
+   arrows cover an overlap is exactly the race question. *)
+
+type conflict = {
+  path : Pedigree.t;  (** root -> the Par (or bare-fire) node *)
+  kind : string;  (** ["par"] or ["fire <type>"] (empty rule set) *)
+  i : int;  (** 1-based index of the first conflicting child *)
+  j : int;  (** 1-based index of the second conflicting child *)
+  overlap : Is.t;
+  write_write : bool;
+}
+
+let footprints t =
+  let rec go = function
+    | Spawn_tree.Leaf s -> (s.Strand.reads, s.Strand.writes)
+    | Spawn_tree.Seq cs | Spawn_tree.Par cs ->
+      List.fold_left
+        (fun (r, w) c ->
+          let cr, cw = go c in
+          (Is.union r cr, Is.union w cw))
+        (Is.empty, Is.empty) cs
+    | Spawn_tree.Fire { src; snk; _ } ->
+      let sr, sw = go src and kr, kw = go snk in
+      (Is.union sr kr, Is.union sw kw)
+  in
+  go t
+
+let check ?registry t =
+  let conflicts = ref [] in
+  let bare_fire rule =
+    match registry with
+    | None -> false
+    | Some reg -> (
+      match Fire_rule.find reg rule with
+      | [] -> true
+      | _ :: _ -> false
+      | exception Not_found -> false (* dangling: the linter's business *))
+  in
+  let check_siblings path kind cs =
+    let fps = Array.of_list (List.map footprints cs) in
+    let n = Array.length fps in
+    for i = 0 to n - 1 do
+      let ri, wi = fps.(i) in
+      for j = i + 1 to n - 1 do
+        let rj, wj = fps.(j) in
+        let ww = Is.inter wi wj in
+        let rw = Is.union (Is.inter ri wj) (Is.inter wi rj) in
+        if not (Is.is_empty ww && Is.is_empty rw) then begin
+          let write_write = not (Is.is_empty ww) in
+          conflicts :=
+            {
+              path = Pedigree.of_list (List.rev path);
+              kind;
+              i = i + 1;
+              j = j + 1;
+              overlap = (if write_write then ww else rw);
+              write_write;
+            }
+            :: !conflicts
+        end
+      done
+    done
+  in
+  let rec go path = function
+    | Spawn_tree.Leaf _ -> ()
+    | Spawn_tree.Seq cs ->
+      List.iteri (fun i c -> go ((i + 1) :: path) c) cs
+    | Spawn_tree.Par cs ->
+      check_siblings path "par" cs;
+      List.iteri (fun i c -> go ((i + 1) :: path) c) cs
+    | Spawn_tree.Fire { rule; src; snk } ->
+      if bare_fire rule then
+        check_siblings path (Printf.sprintf "fire %S" rule) [ src; snk ];
+      go (1 :: path) src;
+      go (2 :: path) snk
+  in
+  go [] t;
+  List.rev !conflicts
+
+let pp_conflict ppf c =
+  Format.fprintf ppf
+    "%s overlap between children %d and %d of the %s node at %s: %a"
+    (if c.write_write then "write-write" else "read-write")
+    c.i c.j c.kind
+    (Pedigree.to_string c.path)
+    Is.pp c.overlap

@@ -1,0 +1,371 @@
+module Fire_rule = Nd.Fire_rule
+module Pedigree = Nd.Pedigree
+module Program = Nd.Program
+module Spawn_tree = Nd.Spawn_tree
+module Rule_check = Nd.Rule_check
+module Dag = Nd_dag.Dag
+module Json = Nd_util.Json
+
+(* The linter rule catalogue (IDs are stable; see DESIGN.md §9):
+
+   ND001  error    dangling fire-type reference (rule via / spawn tree)
+   ND002  warning  dead rule: pedigree never resolves at any use site
+   ND003  warning  duplicate rule within a set
+   ND004  warning  rule shadowed by a full-dependency rule with the
+                   same endpoints
+   ND005  error    rule-graph cycle with no structural descent (every
+                   step has empty pedigrees: the rewriting cannot make
+                   progress and degrades to conservative full edges)
+   ND006  warning  fire ≡ seq at a fire node: the rule set emits a
+                   root-to-root full edge, serializing the construct
+                   (span pessimization)
+   ND007  warning  fires recover no span: the compiled DAG's span equals
+                   the fully-serialized projection's
+   ND008  error    definite footprint race between Par siblings (or the
+                   two sides of an empty-rule-set fire)
+   ND009  error    determinacy race (ESP-bags), reported with the same
+                   LCA + pedigree diagnosis as Rule_check *)
+
+type severity = Error | Warning
+
+type finding = {
+  id : string;
+  severity : severity;
+  subject : string;  (** rule-set name, node path, or workload name *)
+  message : string;
+}
+
+let finding id severity subject fmt =
+  Printf.ksprintf (fun message -> { id; severity; subject; message }) fmt
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let has_errors = List.exists (fun f -> f.severity = Error)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s %s (%s): %s" (severity_name f.severity) f.id
+    f.subject f.message
+
+let to_json findings =
+  Json.List
+    (List.map
+       (fun f ->
+         Json.Obj
+           [
+             ("id", Json.String f.id);
+             ("severity", Json.String (severity_name f.severity));
+             ("subject", Json.String f.subject);
+             ("message", Json.String f.message);
+           ])
+       findings)
+
+let of_json j =
+  List.map
+    (fun o ->
+      let str field =
+        match Json.member field o with
+        | Some (Json.String s) -> s
+        | _ -> raise (Json.Parse_error ("lint finding: missing " ^ field))
+      in
+      {
+        id = str "id";
+        severity =
+          (match str "severity" with
+          | "error" -> Error
+          | "warning" -> Warning
+          | other ->
+            raise (Json.Parse_error ("lint finding: bad severity " ^ other)));
+        subject = str "subject";
+        message = str "message";
+      })
+    (Json.to_list j)
+
+let rule_str r = Format.asprintf "%a" Fire_rule.pp_rule r
+
+(* ------------------------- registry checks ------------------------- *)
+
+let lint_registry reg =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  let names = Fire_rule.names reg in
+  List.iter
+    (fun name ->
+      let rules = Fire_rule.find reg name in
+      (* ND001: dangling via targets *)
+      List.iteri
+        (fun idx r ->
+          match r.Fire_rule.via with
+          | Fire_rule.Full -> ()
+          | Fire_rule.Named t ->
+            if not (Fire_rule.mem reg t) then
+              add
+                (finding "ND001" Error name
+                   "rule #%d (%s) references undefined fire type %S" (idx + 1)
+                   (rule_str r) t))
+        rules;
+      (* ND003: duplicates; ND004: shadowed by a Full rule *)
+      let seen = Hashtbl.create 8 in
+      let full_pairs = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          if r.Fire_rule.via = Fire_rule.Full then
+            Hashtbl.replace full_pairs (r.Fire_rule.src, r.Fire_rule.dst) ())
+        rules;
+      List.iteri
+        (fun idx r ->
+          if Hashtbl.mem seen r then
+            add
+              (finding "ND003" Warning name
+                 "rule #%d (%s) duplicates an earlier rule" (idx + 1)
+                 (rule_str r))
+          else Hashtbl.add seen r ();
+          match r.Fire_rule.via with
+          | Fire_rule.Named _
+            when Hashtbl.mem full_pairs (r.Fire_rule.src, r.Fire_rule.dst) ->
+            add
+              (finding "ND004" Warning name
+                 "rule #%d (%s) is shadowed by a full-dependency rule with \
+                  the same endpoints"
+                 (idx + 1) (rule_str r))
+          | Fire_rule.Named _ | Fire_rule.Full -> ())
+        rules)
+    names;
+  (* ND005: cycles among no-progress edges (src and dst both empty) *)
+  let no_progress = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun r ->
+          match r.Fire_rule.via with
+          | Fire_rule.Named t
+            when Pedigree.to_list r.Fire_rule.src = []
+                 && Pedigree.to_list r.Fire_rule.dst = []
+                 && Fire_rule.mem reg t ->
+            Hashtbl.replace no_progress name
+              (t :: (try Hashtbl.find no_progress name with Not_found -> []))
+          | Fire_rule.Named _ | Fire_rule.Full -> ())
+        (Fire_rule.find reg name))
+    names;
+  (* DFS 3-coloring over the no-progress subgraph *)
+  let color = Hashtbl.create 16 in
+  let on_cycle = Hashtbl.create 4 in
+  let rec dfs n stack =
+    match Hashtbl.find_opt color n with
+    | Some `Done -> ()
+    | Some `Active ->
+      (* [stack] back to [n] is a cycle *)
+      let rec take acc = function
+        | [] -> acc
+        | x :: rest ->
+          if x = n then x :: acc else take (x :: acc) rest
+      in
+      List.iter
+        (fun m -> Hashtbl.replace on_cycle m ())
+        (take [] stack)
+    | None ->
+      Hashtbl.replace color n `Active;
+      List.iter
+        (fun t -> dfs t (n :: stack))
+        (try Hashtbl.find no_progress n with Not_found -> []);
+      Hashtbl.replace color n `Done
+  in
+  List.iter (fun n -> dfs n []) names;
+  Hashtbl.iter
+    (fun name () ->
+      add
+        (finding "ND005" Error name
+           "fire type %S sits on a rule cycle with no structural descent \
+            (every step has empty pedigrees); the rewriting cannot refine it \
+            and degrades to conservative full edges"
+           name))
+    on_cycle;
+  List.rev !fs
+
+(* --------------------------- tree checks --------------------------- *)
+
+let lint_tree reg tree =
+  let dangling =
+    List.filter_map
+      (fun ty ->
+        if Fire_rule.mem reg ty then None
+        else
+          Some
+            (finding "ND001" Error ty
+               "fire type %S is used by the spawn tree but not defined in \
+                the registry"
+               ty))
+      (Spawn_tree.fire_types tree)
+  in
+  let overlaps =
+    List.map
+      (fun (c : Footprint.conflict) ->
+        finding "ND008" Error
+          (Pedigree.to_string c.Footprint.path)
+          "%s"
+          (Format.asprintf "%a" Footprint.pp_conflict c))
+      (Footprint.check ~registry:reg tree)
+  in
+  dangling @ overlaps
+
+(* -------------------------- program checks ------------------------- *)
+
+type resolution = Clean | Bottomed | Mismatch
+
+(* mirror of Program.compile's pedigree resolution, but classifying the
+   outcome: [Clean] consumed every step; [Bottomed] stopped at a leaf
+   (the recursion's base case — benign); [Mismatch] asked an internal
+   node for a child it does not have (the rule addresses structure that
+   does not exist). *)
+let resolve program id ped =
+  let rec go id = function
+    | [] -> (id, Clean)
+    | step :: rest ->
+      let cs = Program.children program id in
+      let len = Array.length cs in
+      if len = 0 then (id, Bottomed)
+      else if step >= 1 && step <= len then go cs.(step - 1) rest
+      else (id, Mismatch)
+  in
+  go id (Pedigree.to_list ped)
+
+type rule_stats = {
+  mutable applies : int;
+  mutable cleans : int;
+  mutable bottoms : int;
+}
+
+let dead_rules program =
+  let reg = Program.registry program in
+  let stats : (string * int, rule_stats) Hashtbl.t = Hashtbl.create 32 in
+  let get key =
+    match Hashtbl.find_opt stats key with
+    | Some s -> s
+    | None ->
+      let s = { applies = 0; cleans = 0; bottoms = 0 } in
+      Hashtbl.add stats key s;
+      s
+  in
+  let visited = Hashtbl.create 4096 in
+  let is_leaf n = Program.children program n = [||] in
+  let rec process a b = function
+    | Fire_rule.Full -> ()
+    | Fire_rule.Named r ->
+      if not (Hashtbl.mem visited (a, b, r)) then begin
+        Hashtbl.add visited (a, b, r) ();
+        match Fire_rule.find reg r with
+        | exception Not_found -> () (* ND001 covers it *)
+        | [] -> ()
+        | rules ->
+          if not (is_leaf a && is_leaf b) then
+            List.iteri
+              (fun idx rule ->
+                let a', ra = resolve program a rule.Fire_rule.src in
+                let b', rb = resolve program b rule.Fire_rule.dst in
+                let s = get (r, idx) in
+                s.applies <- s.applies + 1;
+                (match (ra, rb) with
+                | Clean, Clean -> s.cleans <- s.cleans + 1
+                | Mismatch, _ | _, Mismatch -> ()
+                | (Bottomed | Clean), (Bottomed | Clean) ->
+                  s.bottoms <- s.bottoms + 1);
+                match rule.Fire_rule.via with
+                | Fire_rule.Full -> ()
+                | Fire_rule.Named r' ->
+                  if not (a' = a && b' = b && r' = r) then
+                    process a' b' rule.Fire_rule.via)
+              rules
+      end
+  in
+  for n = 0 to Program.n_nodes program - 1 do
+    match Program.kind_of program n with
+    | Program.Fire r ->
+      let cs = Program.children program n in
+      process cs.(0) cs.(1) (Fire_rule.Named r)
+    | Program.Leaf _ | Program.Seq | Program.Par -> ()
+  done;
+  Hashtbl.fold
+    (fun (name, idx) s acc ->
+      if s.applies > 0 && s.cleans = 0 && s.bottoms = 0 then
+        let rule = List.nth (Fire_rule.find reg name) idx in
+        finding "ND002" Warning name
+          "rule #%d (%s) is dead: its pedigrees address nonexistent children \
+           at every one of its %d use sites"
+          (idx + 1) (rule_str rule) s.applies
+        :: acc
+      else acc)
+    stats []
+
+let fire_eq_seq program =
+  let edges = Hashtbl.create 256 in
+  List.iter
+    (fun (a, b) -> Hashtbl.replace edges (a, b) ())
+    (Program.fire_edges program);
+  let is_leaf n = Program.children program n = [||] in
+  let fs = ref [] in
+  for n = 0 to Program.n_nodes program - 1 do
+    match Program.kind_of program n with
+    | Program.Fire r ->
+      let cs = Program.children program n in
+      if
+        Hashtbl.mem edges (cs.(0), cs.(1))
+        && not (is_leaf cs.(0) && is_leaf cs.(1))
+      then
+        fs :=
+          finding "ND006" Warning r
+            "fire node #%d: rule set %S emits a root-to-root full edge, so \
+             the fire construct serializes entirely (fire ≡ seq; span \
+             pessimization)"
+            n r
+          :: !fs
+    | Program.Leaf _ | Program.Seq | Program.Par -> ()
+  done;
+  List.rev !fs
+
+let no_span_recovered program =
+  let tree = Program.tree program in
+  if Spawn_tree.fire_types tree = [] then []
+  else begin
+    let nd_span = Dag.span (Program.dag program) in
+    let np =
+      Program.compile
+        ~registry:(Program.registry program)
+        (Spawn_tree.serialize_fires tree)
+    in
+    let np_span = Dag.span (Program.dag np) in
+    if nd_span = np_span then
+      [
+        finding "ND007" Warning "program"
+          "the fire rules recover no span: ND span %d equals the \
+           fully-serialized projection's (the arrows may still relax \
+           scheduling order for space or locality, but the critical path \
+           is no shorter than seq's)"
+          nd_span;
+      ]
+    else []
+  end
+
+let races program =
+  List.map
+    (fun (f : Rule_check.finding) ->
+      finding "ND009" Error
+        (match f.Rule_check.lca_kind with
+        | Program.Fire r -> Printf.sprintf "fire %S" r
+        | Program.Par -> "par"
+        | Program.Seq -> "seq"
+        | Program.Leaf _ -> "leaf")
+        "%s"
+        (Format.asprintf "@[<v>%a@]" (Rule_check.pp_finding program) f))
+    (Esp_bags.diagnose program)
+
+let lint_program program =
+  dead_rules program @ fire_eq_seq program @ no_span_recovered program
+  @ races program
+
+(* ------------------------------ driver ----------------------------- *)
+
+let lint_all ~registry tree =
+  let static = lint_registry registry @ lint_tree registry tree in
+  (* only compile when the static pass found no errors: compilation
+     raises on exactly the defects the static pass reports *)
+  if has_errors static then static
+  else static @ lint_program (Program.compile ~registry tree)

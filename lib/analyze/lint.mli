@@ -1,0 +1,68 @@
+(** The fire-rule linter: static checks over rule registries, spawn
+    trees and compiled programs.
+
+    The rule catalogue (stable IDs; full rationale in DESIGN.md §9):
+
+    - [ND001] {e error} — dangling fire-type reference: a rule's [via]
+      target, or a fire type used by the spawn tree, is not defined in
+      the registry.
+    - [ND002] {e warning} — dead rule: the rule's pedigrees address
+      nonexistent children at every use site reached by the rewriting
+      (never resolves cleanly, never bottoms out at a leaf), so it only
+      ever degrades to conservative attachment.
+    - [ND003] {e warning} — duplicate rule within a set.
+    - [ND004] {e warning} — rule shadowed by a full-dependency rule with
+      the same endpoints.
+    - [ND005] {e error} — rule-graph cycle with no structural descent
+      (every step of the cycle has empty pedigrees): the rewriting
+      cannot refine such arrows and degrades them to full edges.
+    - [ND006] {e warning} — fire ≡ seq: a fire node's rule set emits a
+      root-to-root full edge, serializing the whole construct.
+    - [ND007] {e warning} — fires recover no span: the compiled DAG's
+      span equals the fully-serialized ({!Nd.Spawn_tree.serialize_fires})
+      projection's.
+    - [ND008] {e error} — definite footprint race between [Par] siblings
+      or across an empty-rule-set fire ({!Footprint}).
+    - [ND009] {e error} — determinacy race found by the ESP-bags pass
+      ({!Esp_bags}), reported with the same LCA + pedigree diagnosis as
+      {!Nd.Rule_check}. *)
+
+type severity = Error | Warning
+
+type finding = {
+  id : string;  (** ["ND001"] .. ["ND009"] *)
+  severity : severity;
+  subject : string;  (** rule-set name, node path, or ["program"] *)
+  message : string;
+}
+
+val severity_name : severity -> string
+
+val has_errors : finding list -> bool
+
+val pp_finding : Format.formatter -> finding -> unit
+
+(** [to_json fs] / [of_json j] — lossless round-trip as a JSON list of
+    objects with fields [id], [severity], [subject], [message].
+    @raise Nd_util.Json.Parse_error if [of_json] is given anything else. *)
+val to_json : finding list -> Nd_util.Json.t
+
+val of_json : Nd_util.Json.t -> finding list
+
+(** [lint_registry reg] — ND001 (rule targets), ND003, ND004, ND005. *)
+val lint_registry : Nd.Fire_rule.registry -> finding list
+
+(** [lint_tree reg tree] — ND001 (tree fire types), ND008.  Purely
+    static; never compiles. *)
+val lint_tree : Nd.Fire_rule.registry -> Nd.Spawn_tree.t -> finding list
+
+(** [lint_program p] — ND002, ND006, ND007, ND009 on a compiled
+    program. *)
+val lint_program : Nd.Program.t -> finding list
+
+(** [lint_all ~registry tree] — the full battery.  Runs the static
+    registry and tree passes first and only compiles (for
+    [lint_program]) when they produced no errors, since compilation
+    raises on exactly the defects they report. *)
+val lint_all :
+  registry:Nd.Fire_rule.registry -> Nd.Spawn_tree.t -> finding list

@@ -208,6 +208,16 @@ let run_oracle cfg program ~tree_work ~races_fail ~reset ~reference ~verify =
   try
     let work, span = check_structure program tree_work in
     let races = guard "race" (fun () -> Race.find_races (Nd.Program.dag program)) in
+    (* the near-linear ESP-bags detector must reproduce the exact
+       verdict on every program the oracle sees (see Nd_analyze) *)
+    let esp_free =
+      guard "esp-bags" (fun () -> Nd_analyze.Esp_bags.race_free program)
+    in
+    if esp_free <> (races = []) then
+      fail "esp-bags"
+        "ESP-bags verdict race_free=%b disagrees with the exact checker \
+         (race_free=%b, %d races)"
+        esp_free (races = []) (List.length races);
     if races_fail && races <> [] then
       fail "race" "expected race-free, found %d (first: %s)"
         (List.length races)
@@ -242,10 +252,12 @@ let check_instance ?(config = default_config) (inst : Gen.instance) =
   | exception e -> Error { stage = "compile"; message = Printexc.to_string e }
   | program ->
   (* memory equality is only promised for race-free programs; compute
-     the flag before any executing path needs it (a detector overflow
-     counts as "unknown", which skips the memory check, not the rest) *)
+     the flag before any executing path needs it (a detector overflow —
+     now the explicit Race.Limit_exceeded — counts as "unknown", which
+     skips the memory check, not the rest) *)
   let race_free =
-    try Race.race_free (Nd.Program.dag program) with _ -> false
+    try Race.race_free (Nd.Program.dag program)
+    with Race.Limit_exceeded _ -> false
   in
   let reference = ref [||] in
   let verify stage =

@@ -28,6 +28,7 @@ type t = {
   leaf_nodes : int array;
   leaf_vertices : int array;
   vertex_owner : int array;
+  fire_edges : (node_id * node_id) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -230,10 +231,16 @@ let compile ~registry tree =
     in
     go id (Pedigree.to_list ped)
   in
+  let fire_edges = Hashtbl.create 256 in
   let full_edge a b =
-    if a <> b then
+    if a <> b then begin
       let u = nodes.(a).end_v and v = nodes.(b).begin_v in
-      if u <> v then Dag.add_edge dag u v
+      if u <> v then begin
+        Dag.add_edge dag u v;
+        if not (Hashtbl.mem fire_edges (a, b)) then
+          Hashtbl.add fire_edges (a, b) ()
+      end
+    end
   in
   let visited = Hashtbl.create 4096 in
   let rec process a b target =
@@ -282,6 +289,8 @@ let compile ~registry tree =
     leaf_nodes = Array.of_list (List.rev !leaf_nodes);
     leaf_vertices = Array.of_list (List.rev !leaf_vertices);
     vertex_owner;
+    fire_edges =
+      List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) fire_edges []);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -325,6 +334,8 @@ let leaf_node t i = t.leaf_nodes.(i)
 let leaf_vertex t i = t.leaf_vertices.(i)
 
 let vertex_owner t v = t.vertex_owner.(v)
+
+let fire_edges t = t.fire_edges
 
 let begin_vertex t n =
   check t n;

@@ -70,6 +70,15 @@ val leaf_vertex : t -> int -> Nd_dag.Dag.vertex_id
     the node that introduced them). *)
 val vertex_owner : t -> Nd_dag.Dag.vertex_id -> node_id
 
+(** [fire_edges t]: the deduplicated list of non-structural dependencies
+    the fire-rule rewriting added, as spawn-tree node pairs [(a, b)] —
+    each denotes the DAG edge [end(a) -> begin(b)], i.e. {e every} strand
+    of [a]'s subtree precedes {e every} strand of [b]'s subtree.  Sorted
+    by [(a, b)].  This is the complete extra ordering the ⇝ arrows
+    contribute on top of the series-parallel skeleton; the ESP-bags race
+    detector ({!Nd_analyze}) and the fire-rule linter consume it. *)
+val fire_edges : t -> (node_id * node_id) list
+
 (** [begin_vertex t n] / [end_vertex t n]: the DAG vertices such that
     [begin] precedes and [end] follows every strand of [n]'s subtree. *)
 val begin_vertex : t -> node_id -> Nd_dag.Dag.vertex_id

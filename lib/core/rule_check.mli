@@ -20,7 +20,10 @@ type finding = {
 }
 
 (** [diagnose ?limit program] — one finding per detected race (default
-    limit 16).  Subject to {!Nd_dag.Dag.reachability}'s size limit. *)
+    limit 16).  Exact, so bounded by the reachability closure:
+    @raise Nd_dag.Race.Limit_exceeded when the program's DAG exceeds
+    {!Nd_dag.Race.max_vertices} vertices (never degrades silently; the
+    near-linear [Nd_analyze.Esp_bags.diagnose] has no such cap). *)
 val diagnose : ?limit:int -> Program.t -> finding list
 
 (** [lca program a b] — lowest common ancestor of two nodes. *)

@@ -7,10 +7,20 @@ type race = {
   write_write : bool;
 }
 
+exception Limit_exceeded of { vertices : int; limit : int }
+
+let max_vertices = 60_000
+
 (* Exhaustive pairwise check guarded by cheap footprint overlap tests; the
-   reachability closure answers the ordering question in O(1) per pair. *)
+   reachability closure answers the ordering question in O(1) per pair.
+   The closure is quadratic in space, so past [max_vertices] we refuse
+   loudly rather than degrade: callers either catch [Limit_exceeded] and
+   fall back to the near-linear Nd_analyze.Esp_bags detector, or let it
+   propagate. *)
 let find_races ?(limit = 16) dag =
   let n = Dag.n_vertices dag in
+  if n > max_vertices then
+    raise (Limit_exceeded { vertices = n; limit = max_vertices });
   let reach = Dag.reachability dag in
   let races = ref [] in
   let count = ref 0 in

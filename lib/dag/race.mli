@@ -15,12 +15,26 @@ type race = {
   write_write : bool;  (** [false] means a read/write conflict *)
 }
 
+(** Raised by {!find_races} / {!race_free} when the DAG has more than
+    {!max_vertices} vertices: the exact checker needs the full
+    {!Dag.reachability} closure, whose quadratic bit-matrix would not fit.
+    The failure is deliberate and loud — an oversized program must never
+    be silently reported race-free.  Catch it to fall back to the
+    near-linear [Nd_analyze.Esp_bags] detector. *)
+exception Limit_exceeded of { vertices : int; limit : int }
+
+(** Size cap of the exact checker (the largest vertex count
+    {!Dag.reachability} accepts, currently 60_000). *)
+val max_vertices : int
+
 (** [find_races ?limit dag] returns up to [limit] (default 16) races, or
     [[]] when the DAG is determinacy-race free.  Exact: uses full
-    reachability, so subject to {!Dag.reachability}'s size limit. *)
+    reachability.
+    @raise Limit_exceeded when the DAG exceeds {!max_vertices} vertices. *)
 val find_races : ?limit:int -> Dag.t -> race list
 
-(** [race_free dag] is [find_races ~limit:1 dag = \[\]]. *)
+(** [race_free dag] is [find_races ~limit:1 dag = \[\]].
+    @raise Limit_exceeded when the DAG exceeds {!max_vertices} vertices. *)
 val race_free : Dag.t -> bool
 
 val pp_race : Dag.t -> Format.formatter -> race -> unit

@@ -44,8 +44,10 @@
 type 'a buffer = {
   mask : int;
   data : 'a option array;
-  prev : 'a buffer option; (* retired generations, kept reachable *)
+  prev : 'a buffer option;
+      (* retired generations, kept reachable; deliberately write-only *)
 }
+[@@warning "-69"]
 
 (* ------------------------- test-only hooks -------------------------- *)
 

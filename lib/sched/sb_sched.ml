@@ -26,7 +26,7 @@ type anchor = {
   a_level : int;  (* cache level; n_levels+1 for the memory root *)
   a_task : int;  (* task index in its level's decomposition; -1 = root *)
   a_cache : int;
-  mutable a_subclusters : int list;
+  a_subclusters : int list;
   a_queue : int Queue.t;  (* ready children: task indices at a_level-1 *)
 }
 

@@ -1,0 +1,369 @@
+(* Static-analysis tests (Nd_analyze): the ESP-bags detector must agree
+   with the exact reachability checker on every generated spec and every
+   packaged workload, must keep working past the exact checker's vertex
+   cap, and the fire-rule linter must flag each defect class in its
+   catalogue — and stay quiet on the shipped (corrected) rule sets.
+
+   NDSIM_STRESS_ITERS scales the generated corpus (default 3; nightly
+   CI soaks with 1000).  The corpus floor is 500 cases even at the
+   default, per the acceptance bar for the ESP == exact property. *)
+
+module Gen = Nd_check.Gen
+module Esp = Nd_analyze.Esp_bags
+module Lint = Nd_analyze.Lint
+module Footprint = Nd_analyze.Footprint
+module Race = Nd_dag.Race
+module Json = Nd_util.Json
+open Nd
+
+let stress_iters =
+  match Sys.getenv_opt "NDSIM_STRESS_ITERS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 3)
+  | None -> 3
+
+(* ------------------- ESP == exact: generated corpus ------------------ *)
+
+let test_esp_matches_exact_corpus () =
+  (* seeds disjoint from test_conform's corpus (1_000..) and the CI fuzz
+     job's base seed 42 *)
+  let count = min 20_000 (max 500 (50 * stress_iters)) in
+  for seed = 5_000 to 5_000 + count - 1 do
+    let spec = Gen.generate ~seed () in
+    let inst = Gen.build spec in
+    match Program.compile ~registry:inst.Gen.registry inst.Gen.tree with
+    | exception Invalid_argument _ -> ()
+    | p ->
+      let exact = Race.race_free (Program.dag p) in
+      let esp = Esp.race_free p in
+      if esp <> exact then
+        Alcotest.failf "seed %d: ESP race_free=%b, exact race_free=%b@.%a"
+          seed esp exact Gen.pp spec
+  done
+
+(* ------------------- ESP == exact: workload corpus ------------------- *)
+
+let workload_cases =
+  [
+    ("mm", 4, 2); ("mm8", 4, 2); ("trs", 4, 2); ("cholesky", 4, 2);
+    ("lu", 4, 2); ("apsp", 4, 2); ("fw1d", 4, 2); ("lcs", 8, 2);
+    ("mm", 8, 2); ("trs", 8, 2); ("cholesky", 8, 2); ("lu", 8, 2);
+    ("stencil", 8, 4); ("gotoh", 8, 2); ("fw1d", 16, 2); ("lcs", 16, 2);
+  ]
+
+let literal_cases =
+  [
+    (fun () -> Nd_algos.Matmul.workload ~variant:Nd_algos.Matmul.Literal ~n:8 ~base:2 ~seed:7 ());
+    (fun () -> Nd_algos.Trs.workload ~variant:Nd_algos.Trs.Literal ~n:8 ~base:2 ~seed:7 ());
+    (fun () -> Nd_algos.Lcs.workload ~variant:`Literal ~n:16 ~base:2 ~seed:7 ());
+    (fun () -> Nd_algos.Fw1d.workload ~variant:`Literal ~n:16 ~base:2 ~seed:7 ());
+  ]
+
+let check_workload_agreement (w : Nd_algos.Workload.t) =
+  List.iter
+    (fun mode ->
+      let p = Nd_algos.Workload.compile ~mode w in
+      let exact = Race.race_free (Program.dag p) in
+      let esp = Esp.race_free p in
+      if esp <> exact then
+        Alcotest.failf "%s n=%d %s: ESP race_free=%b, exact race_free=%b"
+          w.Nd_algos.Workload.name w.Nd_algos.Workload.n
+          (Nd_algos.Workload.mode_name mode)
+          esp exact)
+    [ Nd_algos.Workload.ND; Nd_algos.Workload.NP ]
+
+let test_esp_matches_exact_workloads () =
+  List.iter
+    (fun (name, n, base) ->
+      let fam = Nd_experiments.Workloads.find name in
+      check_workload_agreement
+        (Nd_experiments.Workloads.build ~n ~base fam ~seed:7))
+    workload_cases;
+  List.iter (fun mk -> check_workload_agreement (mk ())) literal_cases
+
+(* ----------------- ESP past the exact checker's cap ------------------ *)
+
+let test_esp_beyond_exact_limit () =
+  (* FW-2D (apsp) at n=64 compiles to ~98k vertices — past
+     Race.max_vertices, so the exact checker must refuse and the ESP
+     pass must still answer; it also exercises both query paths (S-bag
+     hits and ~757k fire edges).  BENCH_3 covers the scaling sweep. *)
+  let fam = Nd_experiments.Workloads.find "apsp" in
+  let w = Nd_experiments.Workloads.build ~n:64 ~base:2 fam ~seed:7 in
+  let p = Nd_algos.Workload.compile w in
+  let n = Nd_dag.Dag.n_vertices (Program.dag p) in
+  if n <= Race.max_vertices then
+    Alcotest.failf "apsp n=64 has only %d vertices (cap %d): not past the cap"
+      n Race.max_vertices;
+  (match Race.find_races (Program.dag p) with
+  | exception Race.Limit_exceeded { vertices; limit } ->
+    Alcotest.(check int) "reported vertex count" n vertices;
+    Alcotest.(check int) "reported limit" Race.max_vertices limit
+  | _ -> Alcotest.fail "exact checker did not raise Limit_exceeded");
+  let v = Esp.analyze p in
+  Alcotest.(check (list reject)) "ESP: race free" [] v.Esp.races;
+  let s = v.Esp.stats in
+  if s.Esp.n_queries = 0 || s.Esp.n_accesses = 0 then
+    Alcotest.fail "ESP stats empty on a 100k-vertex program";
+  if s.Esp.sp_hits > s.Esp.n_queries then
+    Alcotest.fail "sp_hits exceeds n_queries"
+
+(* --------------------- lint: literal MM rejected --------------------- *)
+
+let test_lint_rejects_literal_mm () =
+  let w =
+    Nd_algos.Matmul.workload ~variant:Nd_algos.Matmul.Literal ~n:8 ~base:2
+      ~seed:7 ()
+  in
+  let findings =
+    Lint.lint_all ~registry:w.Nd_algos.Workload.registry
+      w.Nd_algos.Workload.tree
+  in
+  Alcotest.(check bool) "has errors" true (Lint.has_errors findings);
+  let races = List.filter (fun f -> f.Lint.id = "ND009") findings in
+  if races = [] then Alcotest.fail "no ND009 race finding on literal MM";
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "lifted to the MM fire" "fire \"MM_literal\""
+        f.Lint.subject)
+    races;
+  (* the ESP diagnosis must carry the same LCA + pedigrees the exact
+     Rule_check diagnosis reports *)
+  let p = Nd_algos.Workload.compile w in
+  let key (f : Rule_check.finding) =
+    ( f.Rule_check.lca,
+      Pedigree.to_string f.Rule_check.src_pedigree,
+      Pedigree.to_string f.Rule_check.dst_pedigree )
+  in
+  let exact =
+    List.map key (Rule_check.diagnose ~limit:1_000 p)
+  in
+  List.iter
+    (fun f ->
+      if not (List.mem (key f) exact) then
+        Alcotest.failf "ESP diagnosis %s -> %s not among the exact findings"
+          (Pedigree.to_string f.Rule_check.src_pedigree)
+          (Pedigree.to_string f.Rule_check.dst_pedigree))
+    (Esp.diagnose ~limit:1_000 p)
+
+(* The FG pair from test_conform: dropping +<2> ~> -<1> leaves exactly
+   (B, C) unordered; the ESP diagnosis must name the same fire node and
+   pedigrees as the exact one. *)
+let fg_program rules =
+  let is = Nd_util.Interval_set.interval in
+  let s label ~reads ~writes =
+    Spawn_tree.leaf (Strand.make ~label ~work:1 ~reads ~writes ())
+  in
+  let e = Nd_util.Interval_set.empty in
+  let f =
+    Spawn_tree.seq
+      [ s "A" ~reads:e ~writes:(is 0 1); s "B" ~reads:e ~writes:(is 1 2) ]
+  and g =
+    Spawn_tree.seq
+      [ s "C" ~reads:(is 1 2) ~writes:e; s "D" ~reads:(is 0 1) ~writes:e ]
+  in
+  let reg = Fire_rule.define Fire_rule.empty_registry "FG" rules in
+  Program.compile ~registry:reg (Spawn_tree.fire ~rule:"FG" f g)
+
+let test_esp_diagnoses_dropped_rule () =
+  let p = fg_program [ Fire_rule.rule [ 1 ] Fire_rule.Full [ 2 ] ] in
+  match Esp.diagnose p with
+  | [ f ] ->
+    (match f.Rule_check.lca_kind with
+    | Program.Fire "FG" -> ()
+    | _ -> Alcotest.fail "LCA is not the FG fire node");
+    Alcotest.(check string) "src pedigree (B)" "<1.2>"
+      (Pedigree.to_string f.Rule_check.src_pedigree);
+    Alcotest.(check string) "dst pedigree (C)" "<2.1>"
+      (Pedigree.to_string f.Rule_check.dst_pedigree)
+  | other -> Alcotest.failf "expected exactly 1 finding, got %d" (List.length other)
+
+(* -------------------- lint: registry defect classes ------------------ *)
+
+let strand label =
+  Spawn_tree.leaf
+    (Strand.make ~label ~work:1 ~reads:Nd_util.Interval_set.empty
+       ~writes:Nd_util.Interval_set.empty ())
+
+let find_ids id findings = List.filter (fun f -> f.Lint.id = id) findings
+
+let test_lint_dangling_and_dead () =
+  (* dangling: a rule's via names an undefined fire type *)
+  let dangling =
+    Fire_rule.define Fire_rule.empty_registry "H"
+      [ Fire_rule.rule [ 1 ] (Fire_rule.Named "NOPE") [ 1 ] ]
+  in
+  let fs = Lint.lint_registry dangling in
+  (match find_ids "ND001" fs with
+  | [ f ] ->
+    Alcotest.(check string) "severity" "error" (Lint.severity_name f.Lint.severity);
+    Alcotest.(check string) "subject" "H" f.Lint.subject
+  | other -> Alcotest.failf "expected 1 ND001, got %d" (List.length other));
+  (* dangling fire type used directly by the tree *)
+  let tree =
+    Spawn_tree.fire ~rule:"GHOST"
+      (Spawn_tree.seq [ strand "a"; strand "b" ])
+      (Spawn_tree.seq [ strand "c"; strand "d" ])
+  in
+  let fs = Lint.lint_tree Fire_rule.empty_registry tree in
+  if find_ids "ND001" fs = [] then
+    Alcotest.fail "tree with undefined fire type not flagged";
+  (* dead: the pedigrees address children that never exist, at every
+     use site (both sides are 2-child Seqs; step 5 is out of range) *)
+  let dead =
+    Fire_rule.define Fire_rule.empty_registry "H"
+      [
+        Fire_rule.rule [ 1 ] Fire_rule.Full [ 1 ];
+        Fire_rule.rule [ 5 ] Fire_rule.Full [ 5 ];
+      ]
+  in
+  let tree =
+    Spawn_tree.fire ~rule:"H"
+      (Spawn_tree.seq [ strand "a"; strand "b" ])
+      (Spawn_tree.seq [ strand "c"; strand "d" ])
+  in
+  let fs = Lint.lint_all ~registry:dead tree in
+  (match find_ids "ND002" fs with
+  | [ f ] ->
+    Alcotest.(check string) "severity" "warning"
+      (Lint.severity_name f.Lint.severity);
+    Alcotest.(check string) "subject" "H" f.Lint.subject;
+    if not (Lint.has_errors fs = false) then
+      Alcotest.fail "dead rule alone must not be an error"
+  | other -> Alcotest.failf "expected 1 ND002, got %d" (List.length other))
+
+let test_lint_duplicate_shadow_cycle () =
+  let r = Fire_rule.rule in
+  (* duplicate + shadowed *)
+  let reg =
+    Fire_rule.define Fire_rule.empty_registry "A"
+      [
+        r [ 1 ] Fire_rule.Full [ 1 ];
+        r [ 1 ] Fire_rule.Full [ 1 ];
+        (* duplicate: ND003 *)
+        r [ 1 ] (Fire_rule.Named "A") [ 1 ];
+        (* shadowed by the Full above: ND004 *)
+      ]
+  in
+  let fs = Lint.lint_registry reg in
+  if find_ids "ND003" fs = [] then Alcotest.fail "duplicate not flagged";
+  if find_ids "ND004" fs = [] then Alcotest.fail "shadowed rule not flagged";
+  (* no-progress cycle: A -> B -> A with empty pedigrees on both sides *)
+  let reg =
+    Fire_rule.define
+      (Fire_rule.define Fire_rule.empty_registry "A"
+         [ r [] (Fire_rule.Named "B") [] ])
+      "B"
+      [ r [] (Fire_rule.Named "A") [] ]
+  in
+  let fs = Lint.lint_registry reg in
+  let cyc = find_ids "ND005" fs in
+  Alcotest.(check int) "both cycle members flagged" 2 (List.length cyc);
+  Alcotest.(check bool) "cycle is an error" true (Lint.has_errors fs);
+  (* structural descent breaks the cycle: same shape, nonempty pedigree *)
+  let reg =
+    Fire_rule.define
+      (Fire_rule.define Fire_rule.empty_registry "A"
+         [ r [ 1 ] (Fire_rule.Named "B") [] ])
+      "B"
+      [ r [] (Fire_rule.Named "A") [] ]
+  in
+  Alcotest.(check int) "descending cycle is fine" 0
+    (List.length (find_ids "ND005" (Lint.lint_registry reg)))
+
+let test_lint_footprint_overlap () =
+  let is = Nd_util.Interval_set.interval in
+  let w label iv =
+    Spawn_tree.leaf
+      (Strand.make ~label ~work:1 ~reads:Nd_util.Interval_set.empty
+         ~writes:iv ())
+  in
+  let tree = Spawn_tree.par [ w "x" (is 0 2); w "y" (is 1 3) ] in
+  let fs = Lint.lint_tree Fire_rule.empty_registry tree in
+  (match find_ids "ND008" fs with
+  | [ f ] -> Alcotest.(check string) "severity" "error" (Lint.severity_name f.Lint.severity)
+  | other -> Alcotest.failf "expected 1 ND008, got %d" (List.length other));
+  (* the same overlap under Seq is ordered: no finding *)
+  let tree = Spawn_tree.seq [ w "x" (is 0 2); w "y" (is 1 3) ] in
+  Alcotest.(check int) "seq overlap is fine" 0
+    (List.length (Lint.lint_tree Fire_rule.empty_registry tree));
+  (* direct Footprint API: conflict carries path and overlap *)
+  let tree =
+    Spawn_tree.seq
+      [ strand "pre"; Spawn_tree.par [ w "x" (is 0 2); w "y" (is 1 3) ] ]
+  in
+  match Footprint.check tree with
+  | [ c ] ->
+    Alcotest.(check string) "path" "<2>" (Pedigree.to_string c.Footprint.path);
+    Alcotest.(check bool) "write-write" true c.Footprint.write_write;
+    Alcotest.(check bool) "overlap is [1,2)" true
+      (Nd_util.Interval_set.intervals c.Footprint.overlap = [ (1, 2) ])
+  | other -> Alcotest.failf "expected 1 conflict, got %d" (List.length other)
+
+(* ----------------- lint: shipped rule sets are clean ----------------- *)
+
+let test_lint_shipped_sets_clean () =
+  List.iter
+    (fun fam ->
+      let n = List.hd fam.Nd_experiments.Workloads.sizes in
+      let w = Nd_experiments.Workloads.build ~n fam ~seed:7 in
+      let fs =
+        Lint.lint_all ~registry:w.Nd_algos.Workload.registry
+          w.Nd_algos.Workload.tree
+      in
+      if Lint.has_errors fs then
+        Alcotest.failf "%s n=%d: %s" fam.Nd_experiments.Workloads.name n
+          (String.concat "; "
+             (List.map
+                (fun f -> Format.asprintf "%a" Lint.pp_finding f)
+                fs)))
+    Nd_experiments.Workloads.all
+
+(* -------------------------- JSON round-trip -------------------------- *)
+
+let test_lint_json_roundtrip () =
+  let w =
+    Nd_algos.Matmul.workload ~variant:Nd_algos.Matmul.Literal ~n:8 ~base:2
+      ~seed:7 ()
+  in
+  let findings =
+    Lint.lint_all ~registry:w.Nd_algos.Workload.registry
+      w.Nd_algos.Workload.tree
+  in
+  if findings = [] then Alcotest.fail "expected findings to round-trip";
+  let back =
+    Lint.of_json (Json.parse (Json.to_string (Lint.to_json findings)))
+  in
+  Alcotest.(check bool) "round-trip" true (back = findings)
+
+(* ----------------------------- registry ------------------------------ *)
+
+let () =
+  Alcotest.run "nd_analyze"
+    [
+      ( "esp-bags",
+        [
+          Alcotest.test_case "matches exact: generated corpus" `Slow
+            test_esp_matches_exact_corpus;
+          Alcotest.test_case "matches exact: workloads" `Quick
+            test_esp_matches_exact_workloads;
+          Alcotest.test_case "works past the exact cap" `Slow
+            test_esp_beyond_exact_limit;
+          Alcotest.test_case "diagnoses the dropped FG rule" `Quick
+            test_esp_diagnoses_dropped_rule;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "rejects literal MM" `Quick
+            test_lint_rejects_literal_mm;
+          Alcotest.test_case "dangling + dead rules" `Quick
+            test_lint_dangling_and_dead;
+          Alcotest.test_case "duplicate, shadow, cycle" `Quick
+            test_lint_duplicate_shadow_cycle;
+          Alcotest.test_case "footprint overlap" `Quick
+            test_lint_footprint_overlap;
+          Alcotest.test_case "shipped rule sets clean" `Quick
+            test_lint_shipped_sets_clean;
+          Alcotest.test_case "JSON round-trip" `Quick
+            test_lint_json_roundtrip;
+        ] );
+    ]
