@@ -432,9 +432,16 @@ let suite_cmd =
   let json_arg =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"DIR"
-             ~doc:"Also write one machine-readable JSON file per experiment into DIR.")
+             ~doc:"Also write one machine-readable JSON file per experiment \
+                   into DIR, plus timings.json with per-phase wall-clock.")
   in
-  let run which json =
+  let workers_arg =
+    Arg.(value & opt (some int) None
+         & info [ "workers"; "w" ] ~docv:"W"
+             ~doc:"Worker domains running experiments concurrently (default: \
+                   \\$(b,NDSIM_WORKERS) or the core count, capped at 8).")
+  in
+  let run which json workers =
     let known name = List.mem_assoc name Nd_experiments.Suite.all in
     match (which, json) with
     | Some name, _ when not (known name) ->
@@ -446,18 +453,19 @@ let suite_cmd =
       with Sys_error msg | Unix.Unix_error (Unix.ENOENT, _, msg) ->
         Format.eprintf "suite: cannot write into %s: %s@." dir msg;
         exit 2)
-    | None, None -> Nd_experiments.Suite.run_all ()
+    | None, None -> Nd_experiments.Suite.run_all ?workers ()
     | None, Some dir -> (
-      try Nd_experiments.Suite.run_all_json ~dir
+      try Nd_experiments.Suite.run_all_json ?workers ~dir ()
       with Sys_error msg | Unix.Unix_error (Unix.ENOENT, _, msg) ->
         Format.eprintf "suite: cannot write into %s: %s@." dir msg;
         exit 2)
   in
   Cmd.v
     (Cmd.info "suite"
-       ~doc:"Run the experiment suite, optionally emitting machine-readable \
-             JSON (one file per experiment).")
-    Term.(const run $ which $ json_arg)
+       ~doc:"Run the experiment suite (experiments in parallel across worker \
+             domains), optionally emitting machine-readable JSON (one file \
+             per experiment plus per-phase timings).")
+    Term.(const run $ which $ json_arg $ workers_arg)
 
 (* ------------------------------ fuzz ------------------------------- *)
 

@@ -19,6 +19,14 @@ type node = {
   mutable work : int;
 }
 
+type decomposition = {
+  m : int;
+  tasks : node_id array;
+  task_of_node : int array;
+  task_of_vertex : int array;
+  n_glue : int;
+}
+
 type t = {
   tree : Spawn_tree.t;
   registry : Fire_rule.registry;
@@ -29,6 +37,7 @@ type t = {
   leaf_vertices : int array;
   vertex_owner : int array;
   fire_edges : (node_id * node_id) list;
+  decomp_cache : (int, decomposition) Hashtbl.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -291,6 +300,7 @@ let compile ~registry tree =
     vertex_owner;
     fire_edges =
       List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) fire_edges []);
+    decomp_cache = Hashtbl.create 16;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -361,16 +371,7 @@ let work_of_node t n =
 (* M-maximal decomposition                                             *)
 (* ------------------------------------------------------------------ *)
 
-type decomposition = {
-  m : int;
-  tasks : node_id array;
-  task_of_node : int array;
-  task_of_vertex : int array;
-  n_glue : int;
-}
-
-let decompose t ~m =
-  if m < 1 then invalid_arg "Program.decompose: m < 1";
+let decompose_uncached t ~m =
   let tasks = ref [] and n_tasks = ref 0 in
   let task_of_node = Array.make (Array.length t.nodes) (-1) in
   let n_glue = ref 0 in
@@ -403,6 +404,21 @@ let decompose t ~m =
     task_of_vertex;
     n_glue = !n_glue;
   }
+
+(* Memoized per program: sigma-sweeps and the Q*/Q-hat metrics query the
+   same handful of [m] values over and over, and a decomposition is
+   immutable once built.  Not thread-safe: share a program across domains
+   only after the decompositions it needs have been computed (the
+   experiment suite compiles one program per experiment, so its parallel
+   driver never races here). *)
+let decompose t ~m =
+  if m < 1 then invalid_arg "Program.decompose: m < 1";
+  match Hashtbl.find_opt t.decomp_cache m with
+  | Some d -> d
+  | None ->
+    let d = decompose_uncached t ~m in
+    Hashtbl.add t.decomp_cache m d;
+    d
 
 let enclosing_task d n = d.task_of_node.(n)
 

@@ -110,6 +110,12 @@ type decomposition = {
 (** [decompose t ~m] splits the spawn tree into M-maximal tasks (size at
     most [m], parent bigger) and glue nodes.  A leaf whose strand exceeds
     [m] is still a task of its own (it cannot be split).
+
+    Results are memoized per program (keyed by [m]) — sigma-sweeps and
+    the PCC/ECC metrics re-request the same decompositions, and the
+    result is immutable.  The memo table is not synchronized: share a
+    program across domains only read-only, after the decompositions it
+    needs exist.
     @raise Invalid_argument if [m < 1]. *)
 val decompose : t -> m:int -> decomposition
 

@@ -5,6 +5,10 @@ open Nd_algos
 
 let seed = 20160215 (* the paper's arXiv date *)
 
+let now_ns () = Monotonic_clock.now ()
+
+let seconds_since t0 = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9
+
 let sim_machine ~top_caches =
   Pmh.create ~root_fanout:top_caches
     [
@@ -66,7 +70,6 @@ let e1_span () =
           ]
       end)
     Workloads.all;
-  Table.print t;
   t
 
 (* ------------------------------ E2 --------------------------------- *)
@@ -78,9 +81,9 @@ let e2_pcc () =
   in
   let dense = [ "mm"; "trs"; "cholesky"; "lu" ] in
   let quad = [ "lcs"; "fw1d" ] in
-  let do_algo name n ms shape shape_name =
+  let do_algo ?base name n ms shape shape_name =
     let fam = Workloads.find name in
-    let w = Workloads.build ~n fam ~seed in
+    let w = Workloads.build ~n ?base fam ~seed in
     let p = Workload.compile w in
     List.iter
       (fun m ->
@@ -105,7 +108,14 @@ let e2_pcc () =
   List.iter (fun a -> do_algo a 64 [ 16; 64; 256; 1024 ] dense_shape "*n^3/sqrt(M)") dense;
   do_algo "apsp" 32 [ 16; 64; 256 ] dense_shape "*n^3/sqrt(M)";
   List.iter (fun a -> do_algo a 256 [ 64; 256; 1024; 4096 ] quad_shape "*n^2 (table)") quad;
-  Table.print t;
+  (* paper-scale rows: a coarser leaf block keeps the spawn tree
+     tractable at n=512 while the interval-granular LRU keeps the q1
+     column cheap (per-row, not per-word) *)
+  do_algo ~base:32 "mm" 512 [ 256; 1024; 4096 ] dense_shape "*n^3/sqrt(M)";
+  do_algo ~base:4 "apsp" 64 [ 16; 64; 256 ] dense_shape "*n^3/sqrt(M)";
+  List.iter
+    (fun a -> do_algo ~base:4 a 512 [ 256; 1024; 4096 ] quad_shape "*n^2 (table)")
+    quad;
   t
 
 (* ------------------------------ E3 --------------------------------- *)
@@ -119,9 +129,9 @@ let e3_misses () =
   let machine = sim_machine ~top_caches:1 in
   let sigma = 1. /. 3. in
   List.iter
-    (fun (name, n) ->
+    (fun (name, n, base) ->
       let fam = Workloads.find name in
-      let w = Workloads.build ~n fam ~seed in
+      let w = Workloads.build ~n ~base fam ~seed in
       List.iter
         (fun mode ->
           let p = Workload.compile ~mode w in
@@ -133,7 +143,7 @@ let e3_misses () =
             let bound = Nd_mem.Pcc.q_star p ~m in
             Table.add_row t
               [
-                name;
+                Printf.sprintf "%s n=%d" name n;
                 Workload.mode_name mode;
                 Table.cell_int level;
                 Table.cell_int s.Nd_sched.Sb_sched.misses.(level - 1);
@@ -144,8 +154,10 @@ let e3_misses () =
               ]
           done)
         [ Workload.ND; Workload.NP ])
-    [ ("mm", 32); ("trs", 32); ("cholesky", 32); ("lcs", 128); ("fw1d", 128) ];
-  Table.print t;
+    [
+      ("mm", 64, 4); ("trs", 64, 4); ("cholesky", 64, 4); ("lcs", 256, 2);
+      ("fw1d", 256, 2); ("mm", 512, 32); ("fw1d", 512, 4);
+    ];
   t
 
 (* ------------------------------ E4 --------------------------------- *)
@@ -159,9 +171,9 @@ let e4_scaling () =
   in
   let sigma = 1. /. 3. in
   List.iter
-    (fun (name, n) ->
+    (fun (name, n, base) ->
       let fam = Workloads.find name in
-      let w = Workloads.build ~n fam ~seed in
+      let w = Workloads.build ~n ~base fam ~seed in
       let pnd, pnp = compile_both w in
       List.iter
         (fun top ->
@@ -187,8 +199,10 @@ let e4_scaling () =
                 (float_of_int snp.Nd_sched.Sb_sched.time /. perfect);
             ])
         [ 1; 2; 4; 8 ])
-    [ ("mm", 32); ("trs", 64); ("cholesky", 64); ("lcs", 256) ];
-  Table.print t;
+    [
+      ("mm", 64, 2); ("trs", 64, 2); ("cholesky", 64, 2); ("lcs", 512, 4);
+      ("fw1d", 512, 4);
+    ];
   t
 
 (* ------------------------------ E5 --------------------------------- *)
@@ -200,9 +214,9 @@ let e5_alpha () =
       [ "algo"; "model"; "M=64"; "M=256"; "M=1024" ]
   in
   List.iter
-    (fun (name, n) ->
+    (fun (name, n, base) ->
       let fam = Workloads.find name in
-      let w = Workloads.build ~n fam ~seed in
+      let w = Workloads.build ~n ~base fam ~seed in
       List.iter
         (fun mode ->
           let p = Workload.compile ~mode w in
@@ -212,8 +226,12 @@ let e5_alpha () =
           Table.add_row t
             [ name; Workload.mode_name mode; cell 64; cell 256; cell 1024 ])
         [ Workload.ND; Workload.NP ])
-    [ ("mm", 64); ("trs", 64); ("cholesky", 64); ("lcs", 256); ("fw1d", 256) ];
-  Table.print t;
+    [
+      (* base 8 at n=512: the ECC search is the costliest metric in the
+         suite, and the alpha_max estimate is stable under the leaf size *)
+      ("mm", 64, 2); ("trs", 64, 2); ("cholesky", 64, 2); ("lcs", 512, 8);
+      ("fw1d", 512, 8);
+    ];
   t
 
 (* ------------------------------ E6 --------------------------------- *)
@@ -230,16 +248,16 @@ let e6_work_stealing () =
   in
   let machine = sim_machine ~top_caches:1 in
   List.iter
-    (fun (name, n) ->
+    (fun (name, n, base) ->
       let fam = Workloads.find name in
-      let w = Workloads.build ~n fam ~seed in
+      let w = Workloads.build ~n ~base fam ~seed in
       let p = Workload.compile w in
       let sb = Nd_sched.Sb_sched.run p machine in
       let sbl = Nd_sched.Sb_sched.run ~accounting:Nd_sched.Sb_sched.Lru p machine in
       let ws = Nd_sched.Work_steal.run ~seed p machine in
       Table.add_row t
         [
-          name;
+          Printf.sprintf "%s n=%d" name n;
           Table.cell_int sb.Nd_sched.Sb_sched.time;
           Table.cell_int sbl.Nd_sched.Sb_sched.time;
           Table.cell_int ws.Nd_sched.Work_steal.time;
@@ -248,8 +266,10 @@ let e6_work_stealing () =
           Table.cell_int ws.Nd_sched.Work_steal.miss_cost;
           Table.cell_int ws.Nd_sched.Work_steal.steals;
         ])
-    [ ("mm", 32); ("trs", 32); ("cholesky", 32); ("lcs", 128); ("fw1d", 128) ];
-  Table.print t;
+    [
+      ("mm", 64, 4); ("trs", 64, 4); ("cholesky", 64, 4); ("lcs", 256, 2);
+      ("fw1d", 256, 2); ("mm", 512, 32); ("fw1d", 512, 4);
+    ];
   t
 
 (* ------------------------------ E7 --------------------------------- *)
@@ -279,7 +299,6 @@ let e7_ablation () =
           Table.cell_int c.Nd_sched.Sb_sched.n_anchors;
         ])
     [ ("mm", 32); ("trs", 64); ("cholesky", 64); ("lcs", 256); ("fw1d", 256) ];
-  Table.print t;
   t
 
 (* ------------------------------ E8 --------------------------------- *)
@@ -327,15 +346,14 @@ let e8_rules () =
     ]
   in
   List.iter (fun (name, w) -> check name w) pairs;
-  Table.print t;
   t
 
 (* ------------------------------ E9 --------------------------------- *)
 
 let time_it f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_ns () in
   f ();
-  Unix.gettimeofday () -. t0
+  seconds_since t0
 
 let e9_runtime () =
   let workers = Nd_runtime.Executor.default_workers () in
@@ -390,7 +408,6 @@ let e9_runtime () =
       ("fw1d", 256, 8, 0);
       ("fw1d", 256, 8, 4096);
     ];
-  Table.print t;
   t
 
 (* ---------------------------- overview ----------------------------- *)
@@ -417,7 +434,6 @@ let overview () =
           Table.cell_int (Nd.Analysis.analyze pnp).Nd.Analysis.span;
         ])
     Workloads.all;
-  Table.print t;
   t
 
 let all =
@@ -434,9 +450,73 @@ let all =
     ("e9", e9_runtime);
   ]
 
-let run name = ignore ((List.assoc name all) ())
+(* ---------------------------- drivers ------------------------------ *)
 
-let run_all () = List.iter (fun (_, f) -> ignore (f ())) all
+type timing = { name : string; seconds : float }
+
+let resolve_workers workers =
+  match workers with
+  | Some w -> max 1 w
+  | None -> Nd_runtime.Executor.default_workers ()
+
+let build_all ?workers ?(tracer = Nd_trace.Collector.null) () =
+  let exps = Array.of_list all in
+  let n = Array.length exps in
+  let tables = Array.make n None in
+  let secs = Array.make n 0. in
+  let traced = Nd_trace.Collector.enabled tracer in
+  (* experiments are independent (each compiles its own programs and
+     workload state), so they run as one parallel_for; builders return
+     their tables without printing, and the caller prints in suite order
+     so output never interleaves *)
+  Nd_runtime.Executor.parallel_for ?workers n (fun wid i ->
+      let name, f = exps.(i) in
+      if traced then
+        Nd_trace.Collector.emit_now tracer ~worker:wid
+          (Nd_trace.Event.Strand_begin { vertex = i; work = 0; label = name });
+      let t0 = now_ns () in
+      let table = f () in
+      secs.(i) <- seconds_since t0;
+      if traced then
+        Nd_trace.Collector.emit_now tracer ~worker:wid
+          (Nd_trace.Event.Strand_end { vertex = i });
+      tables.(i) <- Some table);
+  let tables =
+    Array.map (function Some t -> t | None -> assert false) tables
+  in
+  let timings =
+    List.mapi
+      (fun i (name, _) -> { name; seconds = secs.(i) })
+      (Array.to_list exps)
+  in
+  (tables, timings)
+
+let timing_table ~workers timings =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Suite wall-clock per experiment (workers=%d)" workers)
+      [ "experiment"; "seconds" ]
+  in
+  List.iter
+    (fun { name; seconds } ->
+      Table.add_row t [ name; Table.cell_float ~prec:3 seconds ])
+    timings;
+  Table.add_row t
+    [
+      "total";
+      Table.cell_float ~prec:3
+        (List.fold_left (fun acc x -> acc +. x.seconds) 0. timings);
+    ];
+  t
+
+let run name = Table.print ((List.assoc name all) ())
+
+let run_all ?workers ?tracer () =
+  let nw = resolve_workers workers in
+  let tables, timings = build_all ~workers:nw ?tracer () in
+  Array.iter Table.print tables;
+  Table.print (timing_table ~workers:nw timings)
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
@@ -446,11 +526,19 @@ let ensure_dir dir =
 let run_json ~dir name =
   ensure_dir dir;
   let t = (List.assoc name all) () in
+  Table.print t;
   Table.write_json t (Filename.concat dir (name ^ ".json"))
 
-let run_all_json ~dir =
+let run_all_json ?workers ?tracer ~dir () =
   ensure_dir dir;
-  List.iter
-    (fun (name, f) ->
-      Table.write_json (f ()) (Filename.concat dir (name ^ ".json")))
-    all
+  let nw = resolve_workers workers in
+  let tables, timings = build_all ~workers:nw ?tracer () in
+  Array.iteri
+    (fun i table ->
+      let name, _ = List.nth all i in
+      Table.print table;
+      Table.write_json table (Filename.concat dir (name ^ ".json")))
+    tables;
+  let tt = timing_table ~workers:nw timings in
+  Table.print tt;
+  Table.write_json tt (Filename.concat dir "timings.json")

@@ -19,7 +19,12 @@
     - E9 — real multicore wall-clock: serial vs ND dataflow vs NP
       fork-join executors.
 
-    Each function prints its table to stdout and returns it. *)
+    Each experiment function {e builds} and returns its table without
+    printing; the drivers below print in suite order.  Experiments are
+    mutually independent (each compiles its own programs and workload
+    state), so {!run_all}/{!run_all_json} execute them concurrently on
+    an {!Nd_runtime.Executor.parallel_for} worker pool and report
+    per-experiment wall-clock (monotonic) in a closing timings table. *)
 
 val e1_span : unit -> Nd_util.Table.t
 
@@ -47,19 +52,43 @@ val overview : unit -> Nd_util.Table.t
     (["overview"; "e1" ... "e9"]). *)
 val all : (string * (unit -> Nd_util.Table.t)) list
 
-(** [run_all ()] — every experiment in order (the full harness). *)
-val run_all : unit -> unit
+(** Per-experiment wall-clock, measured with the monotonic clock. *)
+type timing = { name : string; seconds : float }
 
-(** [run name] — run one of ["overview"; "e1"..."e9"].
+(** [build_all ?workers ?tracer ()] — run every experiment across
+    [workers] domains (default {!Nd_runtime.Executor.default_workers},
+    so [NDSIM_WORKERS] applies) and return the tables in suite order
+    plus per-experiment timings.  Nothing is printed.  With [tracer]
+    (one ring per worker, e.g. {!Nd_trace.Collector.wallclock}), each
+    experiment is bracketed in [Strand_begin]/[Strand_end] span events
+    labelled with the experiment name, so a Chrome export shows the
+    suite's phase timeline. *)
+val build_all :
+  ?workers:int ->
+  ?tracer:Nd_trace.Collector.t ->
+  unit ->
+  Nd_util.Table.t array * timing list
+
+(** [run_all ?workers ?tracer ()] — {!build_all}, printing every table
+    in suite order followed by the timings table. *)
+val run_all : ?workers:int -> ?tracer:Nd_trace.Collector.t -> unit -> unit
+
+(** [run name] — run and print one of ["overview"; "e1"..."e9"].
     @raise Not_found on an unknown name. *)
 val run : string -> unit
 
-(** [run_json ~dir name] — run one experiment (still printing its table)
-    and additionally write [dir/<name>.json] in the
+(** [run_json ~dir name] — run one experiment, print its table, and
+    additionally write [dir/<name>.json] in the
     {!Nd_util.Table.to_json} format.  Creates [dir] if missing.
     @raise Not_found on an unknown name. *)
 val run_json : dir:string -> string -> unit
 
-(** [run_all_json ~dir] — {!run_all}, writing one JSON file per
-    experiment. *)
-val run_all_json : dir:string -> unit
+(** [run_all_json ?workers ?tracer ~dir ()] — {!run_all}, writing one
+    JSON file per experiment plus [timings.json] with the per-phase
+    wall-clock. *)
+val run_all_json :
+  ?workers:int ->
+  ?tracer:Nd_trace.Collector.t ->
+  dir:string ->
+  unit ->
+  unit

@@ -5,13 +5,36 @@
     traversal in the ideal cache model [Frigo et al.] — as a cross-check
     on the PCC metric: for the paper's algorithms the two agree within
     constant factors (the data reuse across M-maximal subtasks that Q*
-    ignores is a lower-order term; Section 4). *)
+    ignores is a lower-order term; Section 4).
+
+    Two implementations with bit-identical miss counts:
+
+    - {!Word}: the reference simulator — an intrusive LRU list with one
+      cell per resident word, O(1) per word touched.
+    - {!Interval}: residency tracked as footprint segments in an ordered
+      map, with whole hit/miss runs processed per map operation.  An
+      access costs O(r log s) for r hit/miss runs over s resident
+      segments, independent of footprint width — the hot path for
+      sigma-sweeps over block-structured workloads.
+
+    Equivalence is enforced by randomized tests in [test_mem]. *)
 
 type t
 
-(** [create ~m] — an empty LRU cache of capacity [m] words.
+type impl = Word | Interval
+
+(** Process-wide default for {!create} (and {!q1}) when [?impl] is
+    omitted.  Seeded from the [NDSIM_CACHE_SIM] environment variable
+    ([word] selects {!Word}); otherwise {!Interval}. *)
+val default_impl : unit -> impl
+
+val set_default_impl : impl -> unit
+
+(** [create ?impl ~m ()] — an empty LRU cache of capacity [m] words.
     @raise Invalid_argument if [m < 1]. *)
-val create : m:int -> t
+val create : ?impl:impl -> m:int -> unit -> t
+
+val impl : t -> impl
 
 (** [access t addr] touches one word; returns [true] on a miss. *)
 val access : t -> int -> bool
@@ -26,4 +49,4 @@ val accesses : t -> int
 
 (** [q1 program ~m] — misses of the depth-first (serial-elision)
     traversal of the program: every strand touches its footprint once. *)
-val q1 : Nd.Program.t -> m:int -> int
+val q1 : ?impl:impl -> Nd.Program.t -> m:int -> int

@@ -42,6 +42,49 @@ let backoff ~spin_cap spin =
     done
   end
 
+(* --------------------------- parallel for -------------------------- *)
+
+let parallel_for ?workers n f =
+  if n > 0 then begin
+    let nw =
+      max 1
+        (min n (match workers with Some w -> w | None -> default_workers ()))
+    in
+    if nw = 1 then
+      for i = 0 to n - 1 do
+        f 0 i
+      done
+    else begin
+      (* dynamic work sharing: iterations are claimed one at a time off a
+         shared counter, so uneven iteration costs balance automatically
+         (the experiment suite's phases differ by orders of magnitude) *)
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let body wid () =
+        let continue_ = ref true in
+        while !continue_ do
+          if Atomic.get failure <> None then continue_ := false
+          else begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n then continue_ := false
+            else
+              try f wid i
+              with e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+                continue_ := false
+          end
+        done
+      in
+      let domains = List.init (nw - 1) (fun i -> Domain.spawn (body (i + 1))) in
+      body 0 ();
+      List.iter Domain.join domains;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
 (* ------------------------- strand execution ------------------------ *)
 
 let run_action s = match s.Strand.action with Some f -> f () | None -> ()

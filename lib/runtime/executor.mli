@@ -64,6 +64,17 @@ val run_fork_join :
     capped at 8. *)
 val default_workers : unit -> int
 
+(** [parallel_for ?workers n f] runs [f wid i] for every [i] in
+    [0 .. n-1] across [min n workers] domains (default
+    {!default_workers}).  Iterations are claimed dynamically off a
+    shared atomic counter, so wildly uneven iteration costs still
+    balance; [wid] is the worker index in [0 .. workers-1] for
+    per-worker state such as trace rings.  [f] must be safe to call
+    concurrently for distinct [i].  If an iteration raises, remaining
+    unclaimed iterations are abandoned and the first exception is
+    re-raised (with its backtrace) after all workers stop. *)
+val parallel_for : ?workers:int -> int -> (int -> int -> unit) -> unit
+
 (** {2 The dataflow engine as a value}
 
     The dependence-counting core of {!run_dataflow}, exposed so the

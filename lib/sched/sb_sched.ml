@@ -31,12 +31,18 @@ type anchor = {
 }
 
 let utilization s =
-  if s.time = 0 || s.n_procs = 0 then 1.
+  (* an empty run (zero time or zero processors) kept no processor busy:
+     report 0., not the old vacuous 1. *)
+  if s.time = 0 || s.n_procs = 0 then 0.
   else float_of_int s.busy /. (float_of_int s.time *. float_of_int s.n_procs)
 
 let pp_stats ppf s =
-  Format.fprintf ppf "time=%d work=%d miss_cost=%d util=%.3f anchors=%d misses=[%s]"
-    s.time s.work s.miss_cost (utilization s) s.n_anchors
+  let util =
+    if s.time = 0 || s.n_procs = 0 then "n/a"
+    else Printf.sprintf "%.3f" (utilization s)
+  in
+  Format.fprintf ppf "time=%d work=%d miss_cost=%d util=%s anchors=%d misses=[%s]"
+    s.time s.work s.miss_cost util s.n_anchors
     (String.concat ";" (Array.to_list (Array.map string_of_int s.misses)))
 
 let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
@@ -71,22 +77,49 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
   done;
   let fine_n = n1 + !n_glue1 in
   let fine_id v = let t = tov 1 v in if t >= 0 then t else glue1_id.(v) in
-  let glue_pred = Array.make fine_n 0 in
-  let glue_succs = Array.make fine_n [] in
-  let fine_edge_seen = Hashtbl.create (4 * nv) in
+  (* edges into glue vertices, encoded as [fu * fine_n + fv]; sorted and
+     deduplicated in place (no tuple hashtable, no per-edge allocation),
+     then laid out in CSR form so [fire_fine] walks a flat array segment *)
+  let csr = Dag.csr dag in
+  let enc = ref (Array.make 256 0) in
+  let n_enc = ref 0 in
+  let push_edge e =
+    if !n_enc >= Array.length !enc then begin
+      let bigger = Array.make (2 * Array.length !enc) 0 in
+      Array.blit !enc 0 bigger 0 !n_enc;
+      enc := bigger
+    end;
+    !enc.(!n_enc) <- e;
+    incr n_enc
+  in
   for u = 0 to nv - 1 do
     let fu = fine_id u in
-    List.iter
-      (fun v ->
-        let fv = fine_id v in
-        if fu <> fv && fv >= n1 && not (Hashtbl.mem fine_edge_seen (fu, fv))
-        then begin
-          Hashtbl.add fine_edge_seen (fu, fv) ();
-          glue_pred.(fv) <- glue_pred.(fv) + 1;
-          glue_succs.(fu) <- fv :: glue_succs.(fu)
-        end)
-      (Dag.succs dag u)
+    for k = csr.Dag.succ_off.(u) to csr.Dag.succ_off.(u + 1) - 1 do
+      let fv = fine_id csr.Dag.succ_tgt.(k) in
+      if fu <> fv && fv >= n1 then push_edge ((fu * fine_n) + fv)
+    done
   done;
+  let edges = Array.sub !enc 0 !n_enc in
+  Array.sort Int.compare edges;
+  let n_edges = ref 0 in
+  for i = 0 to Array.length edges - 1 do
+    if !n_edges = 0 || edges.(i) <> edges.(!n_edges - 1) then begin
+      edges.(!n_edges) <- edges.(i);
+      incr n_edges
+    end
+  done;
+  let glue_pred = Array.make fine_n 0 in
+  let glue_off = Array.make (fine_n + 1) 0 in
+  for k = 0 to !n_edges - 1 do
+    glue_off.(edges.(k) / fine_n + 1) <- glue_off.(edges.(k) / fine_n + 1) + 1;
+    let fv = edges.(k) mod fine_n in
+    glue_pred.(fv) <- glue_pred.(fv) + 1
+  done;
+  for f = 0 to fine_n - 1 do
+    glue_off.(f + 1) <- glue_off.(f) + glue_off.(f + 1)
+  done;
+  (* sorted by source first, so targets land in source order *)
+  let glue_tgt = Array.init !n_edges (fun k -> edges.(k) mod fine_n) in
 
   (* ---- parents, children, atom counts ---- *)
   (* parent task (at level j+1) of a level-j task; for j = h the parent is
@@ -147,26 +180,26 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
     end
   in
   for u = 0 to nv - 1 do
-    List.iter
-      (fun v ->
-        for j = 1 to h do
-          let tv = tov j v in
-          if tv >= 0 then begin
-            let tu = tov j u in
-            if tu <> tv then begin
-              let ev =
-                if mode = Coarse && j < h then begin
-                  let pu = tov (j + 1) u and pv = tov (j + 1) v in
-                  if pu >= 0 && pv >= 0 && pu <> pv then (j + 1, pu)
-                  else (0, fine_id u)
-                end
+    for k = csr.Dag.succ_off.(u) to csr.Dag.succ_off.(u + 1) - 1 do
+      let v = csr.Dag.succ_tgt.(k) in
+      for j = 1 to h do
+        let tv = tov j v in
+        if tv >= 0 then begin
+          let tu = tov j u in
+          if tu <> tv then begin
+            let ev =
+              if mode = Coarse && j < h then begin
+                let pu = tov (j + 1) u and pv = tov (j + 1) v in
+                if pu >= 0 && pv >= 0 && pu <> pv then (j + 1, pu)
                 else (0, fine_id u)
-              in
-              add_dep j tv ev
-            end
+              end
+              else (0, fine_id u)
+            in
+            add_dep j tv ev
           end
-        done)
-      (Dag.succs dag u)
+        end
+      done
+    done
   done;
 
   (* ---- machine state ---- *)
@@ -207,7 +240,8 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
       (Array.init h (fun i ->
            Array.init
              (Pmh.n_caches machine ~level:(i + 1))
-             (fun _ -> Nd_mem.Cache_sim.create ~m:(Pmh.size machine ~level:(i + 1)))))
+             (fun _ ->
+               Nd_mem.Cache_sim.create ~m:(Pmh.size machine ~level:(i + 1)) ())))
   in
   let atom_cost_lru proc a =
     let caches = Lazy.force lru_caches in
@@ -218,20 +252,20 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
       match Program.kind_of program (Program.leaf_node program i) with
       | Program.Leaf s ->
         cost := !cost + s.Strand.work;
-        List.iter
-          (fun (wlo, whi) ->
-            for w = wlo to whi - 1 do
-              for j = 1 to h do
-                let c = Pmh.cache_of_proc machine ~proc ~level:j in
-                if Nd_mem.Cache_sim.access caches.(j - 1).(c) w then begin
-                  misses.(j - 1) <- misses.(j - 1) + 1;
-                  let mc = Pmh.miss_cost machine ~level:j in
-                  cost := !cost + mc;
-                  total_miss_cost := !total_miss_cost + mc
-                end
-              done
-            done)
-          (Is.intervals (Strand.footprint s))
+        (* each cache is independent, so batching the whole footprint per
+           level sees the same per-cache access sequence (address order)
+           as the old word-at-a-time loop — identical miss counts *)
+        let fp = Strand.footprint s in
+        for j = 1 to h do
+          let c = Pmh.cache_of_proc machine ~proc ~level:j in
+          let dm = Nd_mem.Cache_sim.access_set caches.(j - 1).(c) fp in
+          if dm > 0 then begin
+            misses.(j - 1) <- misses.(j - 1) + dm;
+            let mc = dm * Pmh.miss_cost machine ~level:j in
+            cost := !cost + mc;
+            total_miss_cost := !total_miss_cost + mc
+          end
+        done
       | Program.Seq | Program.Par | Program.Fire _ -> assert false
     done;
     !cost
@@ -309,11 +343,11 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
         dep_count.(j - 1).(tv) <- dep_count.(j - 1).(tv) - 1;
         enqueue_if_ready j tv)
       fine_subs.(f);
-    List.iter
-      (fun g ->
-        glue_pred.(g) <- glue_pred.(g) - 1;
-        if glue_pred.(g) = 0 then fire_fine g)
-      glue_succs.(f)
+    for k = glue_off.(f) to glue_off.(f + 1) - 1 do
+      let g = glue_tgt.(k) in
+      glue_pred.(g) <- glue_pred.(g) - 1;
+      if glue_pred.(g) = 0 then fire_fine g
+    done
   in
   let release_anchor a =
     free_space.(a.a_level - 1).(a.a_cache) <-

@@ -70,7 +70,10 @@ val run :
   Nd_pmh.Pmh.t ->
   stats
 
-(** [utilization s] = busy / (time * procs). *)
+(** [utilization s] = busy / (time * procs), or [0.] when the run had
+    zero time or zero processors (no processor was ever busy). *)
 val utilization : stats -> float
 
+(** Prints the stats on one line; utilization shows as [n/a] for
+    zero-time or zero-processor runs. *)
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,5 +1,4 @@
 module Dag = Nd_dag.Dag
-module Is = Nd_util.Interval_set
 module Heap = Nd_util.Heap
 module Prng = Nd_util.Prng
 module Pmh = Nd_pmh.Pmh
@@ -17,14 +16,17 @@ type stats = {
 }
 
 let utilization s =
-  if s.time = 0 || s.n_procs = 0 then 1.
+  (* same convention as [Sb_sched.utilization]: an empty run is 0. busy *)
+  if s.time = 0 || s.n_procs = 0 then 0.
   else float_of_int s.busy /. (float_of_int s.time *. float_of_int s.n_procs)
 
 let pp_stats ppf s =
-  Format.fprintf ppf "time=%d work=%d miss_cost=%d util=%.3f steals=%d misses=[%s]"
-    s.time s.work s.miss_cost
-    (utilization s)
-    s.steals
+  let util =
+    if s.time = 0 || s.n_procs = 0 then "n/a"
+    else Printf.sprintf "%.3f" (utilization s)
+  in
+  Format.fprintf ppf "time=%d work=%d miss_cost=%d util=%s steals=%d misses=[%s]"
+    s.time s.work s.miss_cost util s.steals
     (String.concat ";" (Array.to_list (Array.map string_of_int s.misses)))
 
 (* simple growable int deque *)
@@ -75,27 +77,25 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2)
     Array.init h (fun i ->
         Array.init
           (Pmh.n_caches machine ~level:(i + 1))
-          (fun _ -> Cache.create ~m:(Pmh.size machine ~level:(i + 1))))
+          (fun _ -> Cache.create ~m:(Pmh.size machine ~level:(i + 1)) ()))
   in
   let misses = Array.make h 0 in
   let total_miss_cost = ref 0 in
   let vertex_cost p v =
     let cost = ref (Dag.work_of dag v) in
     let fp = Dag.footprint_of dag v in
-    List.iter
-      (fun (lo, hi) ->
-        for w = lo to hi - 1 do
-          for j = 1 to h do
-            let c = Pmh.cache_of_proc machine ~proc:p ~level:j in
-            if Cache.access caches.(j - 1).(c) w then begin
-              misses.(j - 1) <- misses.(j - 1) + 1;
-              let mc = Pmh.miss_cost machine ~level:j in
-              cost := !cost + mc;
-              total_miss_cost := !total_miss_cost + mc
-            end
-          done
-        done)
-      (Is.intervals fp);
+    (* per-level batching: caches are independent, so each one sees the
+       same address-ordered sequence as the old word-at-a-time loop *)
+    for j = 1 to h do
+      let c = Pmh.cache_of_proc machine ~proc:p ~level:j in
+      let dm = Cache.access_set caches.(j - 1).(c) fp in
+      if dm > 0 then begin
+        misses.(j - 1) <- misses.(j - 1) + dm;
+        let mc = dm * Pmh.miss_cost machine ~level:j in
+        cost := !cost + mc;
+        total_miss_cost := !total_miss_cost + mc
+      end
+    done;
     !cost
   in
   let indeg = Array.make nv 0 in

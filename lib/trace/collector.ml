@@ -29,8 +29,10 @@ let create ?(capacity = 1 lsl 18) ?(clock = fun () -> 0) ?(ts_to_us = 1.)
   }
 
 let wallclock ?capacity ~workers () =
-  let t0 = Unix.gettimeofday () in
-  let clock () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  (* CLOCK_MONOTONIC, immune to NTP slews that made gettimeofday-based
+     intervals occasionally jump or go negative *)
+  let t0 = Monotonic_clock.now () in
+  let clock () = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
   create ?capacity ~clock ~ts_to_us:1e-3 ~workers ()
 
 let enabled t = t.enabled

@@ -29,8 +29,8 @@ val create :
   unit -> t
 
 (** [wallclock ~workers ()] — a collector for the real runtime: the clock
-    is monotonic-enough wall time in nanoseconds since creation, and
-    [ts_to_us] is [1e-3]. *)
+    is [CLOCK_MONOTONIC] nanoseconds since creation, and [ts_to_us] is
+    [1e-3]. *)
 val wallclock : ?capacity:int -> workers:int -> unit -> t
 
 val enabled : t -> bool

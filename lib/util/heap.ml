@@ -1,7 +1,11 @@
 type 'a entry = { key : int; seq : int; value : 'a }
 
+(* Slots at indices >= n hold [None] so the heap never retains a popped
+   entry (or the value it captures) beyond its lifetime: the discrete-event
+   schedulers keep one long-lived heap per run, and a stale [data.(n)]
+   would pin completed events for the whole simulation. *)
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable n : int;
   mutable next_seq : int;
 }
@@ -14,6 +18,11 @@ let length t = t.n
 
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
+let get t i =
+  match t.data.(i) with
+  | Some e -> e
+  | None -> assert false
+
 let swap t i j =
   let tmp = t.data.(i) in
   t.data.(i) <- t.data.(j);
@@ -22,7 +31,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
+    if less (get t i) (get t parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -31,8 +40,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.n && less t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.n && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if l < t.n && less (get t l) (get t !smallest) then smallest := l;
+  if r < t.n && less (get t r) (get t !smallest) then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
@@ -41,24 +50,25 @@ let rec sift_down t i =
 let push t key value =
   if t.n >= Array.length t.data then begin
     let cap = max 16 (2 * Array.length t.data) in
-    let entry = { key; seq = 0; value } in
-    let bigger = Array.make cap entry in
+    let bigger = Array.make cap None in
     Array.blit t.data 0 bigger 0 t.n;
     t.data <- bigger
   end;
-  t.data.(t.n) <- { key; seq = t.next_seq; value };
+  t.data.(t.n) <- Some { key; seq = t.next_seq; value };
   t.next_seq <- t.next_seq + 1;
   t.n <- t.n + 1;
   sift_up t (t.n - 1)
 
 let pop t =
   if t.n = 0 then raise Not_found;
-  let top = t.data.(0) in
+  let top = get t 0 in
   t.n <- t.n - 1;
   if t.n > 0 then begin
     t.data.(0) <- t.data.(t.n);
+    t.data.(t.n) <- None;
     sift_down t 0
-  end;
+  end
+  else t.data.(0) <- None;
   (top.key, top.value)
 
-let peek_key t = if t.n = 0 then raise Not_found else t.data.(0).key
+let peek_key t = if t.n = 0 then raise Not_found else (get t 0).key

@@ -27,7 +27,67 @@ let escape_to buf s =
     s;
   Buffer.add_char buf '"'
 
-let rec to_buffer buf v =
+(* ASCII-only escaping: every non-ASCII scalar value becomes \uXXXX, with
+   astral-plane characters encoded as UTF-16 surrogate pairs — the form
+   Chrome's trace viewer and strict JSON consumers expect.  Only valid
+   UTF-8 round-trips byte-exactly: a malformed byte is escaped as its own
+   code point (there is no JSON escape denoting a raw invalid byte). *)
+let escape_ascii_to buf s =
+  Buffer.add_char buf '"';
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | '"' ->
+      Buffer.add_string buf "\\\"";
+      incr i
+    | '\\' ->
+      Buffer.add_string buf "\\\\";
+      incr i
+    | '\n' ->
+      Buffer.add_string buf "\\n";
+      incr i
+    | '\r' ->
+      Buffer.add_string buf "\\r";
+      incr i
+    | '\t' ->
+      Buffer.add_string buf "\\t";
+      incr i
+    | '\b' ->
+      Buffer.add_string buf "\\b";
+      incr i
+    | '\012' ->
+      Buffer.add_string buf "\\f";
+      incr i
+    | c when Char.code c < 0x20 ->
+      Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+      incr i
+    | c when Char.code c < 0x80 ->
+      Buffer.add_char buf c;
+      incr i
+    | _ ->
+      let d = String.get_utf_8_uchar s !i in
+      if Uchar.utf_decode_is_valid d then begin
+        let cp = Uchar.to_int (Uchar.utf_decode_uchar d) in
+        if cp < 0x10000 then Buffer.add_string buf (Printf.sprintf "\\u%04x" cp)
+        else begin
+          let u = cp - 0x10000 in
+          Buffer.add_string buf
+            (Printf.sprintf "\\u%04x\\u%04x"
+               (0xd800 lor (u lsr 10))
+               (0xdc00 lor (u land 0x3ff)))
+        end;
+        i := !i + Uchar.utf_decode_length d
+      end
+      else begin
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+        incr i
+      end)
+  done;
+  Buffer.add_char buf '"'
+
+let rec write ~escape buf v =
   match v with
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
@@ -39,13 +99,13 @@ let rec to_buffer buf v =
       Buffer.add_string buf s
     end
     else Buffer.add_string buf "null"
-  | String s -> escape_to buf s
+  | String s -> escape buf s
   | List l ->
     Buffer.add_char buf '[';
     List.iteri
       (fun i x ->
         if i > 0 then Buffer.add_char buf ',';
-        to_buffer buf x)
+        write ~escape buf x)
       l;
     Buffer.add_char buf ']'
   | Obj fields ->
@@ -53,15 +113,22 @@ let rec to_buffer buf v =
     List.iteri
       (fun i (k, x) ->
         if i > 0 then Buffer.add_char buf ',';
-        escape_to buf k;
+        escape buf k;
         Buffer.add_char buf ':';
-        to_buffer buf x)
+        write ~escape buf x)
       fields;
     Buffer.add_char buf '}'
+
+let to_buffer buf v = write ~escape:escape_to buf v
 
 let to_string v =
   let buf = Buffer.create 256 in
   to_buffer buf v;
+  Buffer.contents buf
+
+let to_string_ascii v =
+  let buf = Buffer.create 256 in
+  write ~escape:escape_ascii_to buf v;
   Buffer.contents buf
 
 let to_channel oc v =
@@ -101,8 +168,14 @@ let add_utf8 buf cp =
     Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
   end
-  else begin
+  else if cp < 0x10000 then begin
     Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
     Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
   end
@@ -127,14 +200,37 @@ let parse_string st =
       | Some 'f' -> Buffer.add_char buf '\012'; advance st
       | Some 'u' ->
         advance st;
-        if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
-        let hex = String.sub st.src st.pos 4 in
-        let cp =
-          try int_of_string ("0x" ^ hex)
-          with Failure _ -> fail st "bad \\u escape"
+        let hex4 () =
+          if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+          let hex = String.sub st.src st.pos 4 in
+          let cp =
+            try int_of_string ("0x" ^ hex)
+            with Failure _ -> fail st "bad \\u escape"
+          in
+          st.pos <- st.pos + 4;
+          cp
         in
-        st.pos <- st.pos + 4;
-        add_utf8 buf cp
+        let cp = hex4 () in
+        if cp >= 0xd800 && cp <= 0xdbff then begin
+          (* high surrogate: a low surrogate must follow for an
+             astral-plane character (RFC 8259 section 7) *)
+          if
+            st.pos + 2 <= String.length st.src
+            && st.src.[st.pos] = '\\'
+            && st.src.[st.pos + 1] = 'u'
+          then begin
+            st.pos <- st.pos + 2;
+            let lo = hex4 () in
+            if lo >= 0xdc00 && lo <= 0xdfff then
+              add_utf8 buf
+                (0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00))
+            else fail st "unpaired surrogate in \\u escape"
+          end
+          else fail st "unpaired surrogate in \\u escape"
+        end
+        else if cp >= 0xdc00 && cp <= 0xdfff then
+          fail st "unpaired surrogate in \\u escape"
+        else add_utf8 buf cp
       | _ -> fail st "bad escape");
       go ()
     | Some c ->

@@ -2,8 +2,10 @@
     parser.  Used by the machine-readable table output
     ({!Nd_util.Table.to_json}), the Chrome [trace_event] exporter
     ([Nd_trace.Chrome]) and the round-trip checks in the test suite.
-    Covers the full JSON grammar except surrogate-pair [\uXXXX] escapes
-    (lone escapes below U+10000 are decoded to UTF-8). *)
+    Covers the full JSON grammar, including surrogate-pair [\uXXXX]
+    escapes: a high/low pair decodes to one astral-plane character
+    (4-byte UTF-8), and an unpaired surrogate is a parse error
+    (RFC 8259 section 7). *)
 
 type t =
   | Null
@@ -18,6 +20,12 @@ type t =
 val to_buffer : Buffer.t -> t -> unit
 
 val to_string : t -> string
+
+(** [to_string_ascii v] serializes with every non-ASCII character escaped
+    as [\uXXXX] — astral-plane characters become UTF-16 surrogate pairs.
+    Strings must be valid UTF-8 to round-trip byte-exactly; malformed
+    bytes are escaped as individual code points. *)
+val to_string_ascii : t -> string
 
 (** [to_channel oc v] writes the value followed by a newline. *)
 val to_channel : out_channel -> t -> unit

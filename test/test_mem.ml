@@ -73,7 +73,7 @@ let test_qstar_np_invariant () =
 (* --------------------------- cache sim ----------------------------- *)
 
 let test_lru_basic () =
-  let c = Nd_mem.Cache_sim.create ~m:2 in
+  let c = Nd_mem.Cache_sim.create ~m:2 () in
   Alcotest.(check bool) "1 miss" true (Nd_mem.Cache_sim.access c 1);
   Alcotest.(check bool) "2 miss" true (Nd_mem.Cache_sim.access c 2);
   Alcotest.(check bool) "1 hit" false (Nd_mem.Cache_sim.access c 1);
@@ -85,7 +85,7 @@ let test_lru_basic () =
   Alcotest.(check int) "accesses" 6 (Nd_mem.Cache_sim.accesses c)
 
 let test_lru_set () =
-  let c = Nd_mem.Cache_sim.create ~m:8 in
+  let c = Nd_mem.Cache_sim.create ~m:8 () in
   let fp = Is.of_intervals [ (0, 4); (10, 14) ] in
   Alcotest.(check int) "cold" 8 (Nd_mem.Cache_sim.access_set c fp);
   Alcotest.(check int) "warm" 0 (Nd_mem.Cache_sim.access_set c fp)
@@ -105,6 +105,104 @@ let test_q1_bounds () =
       let qs = Nd_mem.Pcc.q_star p ~m in
       if q1 > qs then Alcotest.failf "m=%d: Q1 %d > Q* %d" m q1 qs)
     [ 16; 64; 256 ]
+
+(* ---------------- interval-LRU vs word-exact LRU ------------------- *)
+
+module Cs = Nd_mem.Cache_sim
+module Prng = Nd_util.Prng
+
+let stress_iters =
+  match Sys.getenv_opt "NDSIM_STRESS_ITERS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 3)
+  | None -> 3
+
+(* hand-built sequence forcing the interesting interval transitions:
+   partial-hit splits, partial (left-shrink) evictions, and an access
+   larger than the whole cache (self-eviction) *)
+let test_interval_split_evict () =
+  let trace c =
+    let h = ref [] in
+    let record (x : int) = h := x :: !h in
+    record (Cs.access_set c (Is.interval 0 4));
+    (* cold fill *)
+    record (Cs.access_set c (Is.interval 10 12));
+    (* evicts the two oldest words: [0,2) out, [2,4) stays *)
+    record (if Cs.access c 2 then 1 else 0);
+    record (if Cs.access c 0 then 1 else 0);
+    (* partial hit across the resident tail and a fresh run *)
+    record (Cs.access_set c (Is.of_intervals [ (2, 3); (20, 22) ]));
+    (* footprint wider than the cache: self-eviction path *)
+    record (Cs.access_set c (Is.interval 100 108));
+    (Cs.misses c, Cs.accesses c, List.rev !h)
+  in
+  let word = trace (Cs.create ~impl:Cs.Word ~m:4 ()) in
+  let intv = trace (Cs.create ~impl:Cs.Interval ~m:4 ()) in
+  let _, _, per_step = intv in
+  Alcotest.(check (list int))
+    "expected per-step misses"
+    [ 4; 2; 0; 1; 2; 8 ]
+    per_step;
+  Alcotest.(check (triple int int (list int))) "word = interval" word intv
+
+(* randomized equivalence: the interval simulator must be bit-identical
+   to the word-exact reference on arbitrary interleavings of single-word
+   and multi-fragment footprint accesses.  At least 500 traces even at
+   the default NDSIM_STRESS_ITERS (the acceptance floor); the nightly
+   soak multiplies this by ~300. *)
+let test_interval_equiv_random () =
+  let n_traces = max 500 (167 * stress_iters) in
+  let rng = Prng.create 20260806 in
+  for t = 1 to n_traces do
+    let m = 1 + Prng.int rng 64 in
+    let cw = Cs.create ~impl:Cs.Word ~m () in
+    let ci = Cs.create ~impl:Cs.Interval ~m () in
+    let steps = 1 + Prng.int rng 30 in
+    for s = 1 to steps do
+      if Prng.int rng 4 = 0 then begin
+        let a = Prng.int rng 160 in
+        let mw = Cs.access cw a in
+        let mi = Cs.access ci a in
+        if mw <> mi then
+          Alcotest.failf "trace %d step %d (m=%d): word %b / interval %b at %d"
+            t s m mw mi a
+      end
+      else begin
+        (* 1-3 fragments, lengths up to 48 (often > m: eviction chains) *)
+        let n_frags = 1 + Prng.int rng 3 in
+        let frags =
+          List.init n_frags (fun _ ->
+              let lo = Prng.int rng 128 in
+              (lo, lo + 1 + Prng.int rng 48))
+        in
+        let fp = Is.of_intervals frags in
+        let mw = Cs.access_set cw fp in
+        let mi = Cs.access_set ci fp in
+        if mw <> mi then
+          Alcotest.failf "trace %d step %d (m=%d): word %d / interval %d misses"
+            t s m mw mi
+      end
+    done;
+    if Cs.misses cw <> Cs.misses ci || Cs.accesses cw <> Cs.accesses ci then
+      Alcotest.failf "trace %d (m=%d): totals diverge (w %d/%d, i %d/%d)" t m
+        (Cs.misses cw) (Cs.accesses cw) (Cs.misses ci) (Cs.accesses ci)
+  done
+
+(* every shipped workload family at its smallest sweep size: q1 under
+   both implementations must agree exactly *)
+let test_interval_equiv_workloads () =
+  List.iter
+    (fun name ->
+      let fam = Nd_experiments.Workloads.find name in
+      let n = List.hd fam.Nd_experiments.Workloads.sizes in
+      let p = compile (Nd_experiments.Workloads.build ~n fam ~seed:7) in
+      List.iter
+        (fun m ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s n=%d m=%d" name n m)
+            (Cs.q1 ~impl:Cs.Word p ~m)
+            (Cs.q1 ~impl:Cs.Interval p ~m))
+        [ 16; 64; 256 ])
+    (Nd_experiments.Workloads.names ())
 
 (* ------------------------------ ECC -------------------------------- *)
 
@@ -167,6 +265,15 @@ let () =
           Alcotest.test_case "LRU basics" `Quick test_lru_basic;
           Alcotest.test_case "footprint access" `Quick test_lru_set;
           Alcotest.test_case "Q1 bounds" `Quick test_q1_bounds;
+        ] );
+      ( "cache_sim.interval",
+        [
+          Alcotest.test_case "split/evict transitions" `Quick
+            test_interval_split_evict;
+          Alcotest.test_case "randomized equivalence" `Quick
+            test_interval_equiv_random;
+          Alcotest.test_case "workload q1 equivalence" `Quick
+            test_interval_equiv_workloads;
         ] );
       ( "ecc",
         [

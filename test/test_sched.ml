@@ -168,6 +168,44 @@ let test_ws_single_proc_no_steals () =
   let s = Ws.run p machine in
   Alcotest.(check int) "no steals" 0 s.Ws.steals
 
+(* regression: a zero-time (or zero-processor) run used to report a
+   utilization of 1.0 (0/0 short-circuited to "perfect"); it must be 0. *)
+let test_utilization_degenerate () =
+  let sb_zero =
+    {
+      Sb.time = 0;
+      work = 0;
+      misses = [||];
+      miss_cost = 0;
+      busy = 0;
+      n_anchors = 0;
+      n_procs = 4;
+    }
+  in
+  Alcotest.(check (float 0.)) "sb zero time" 0. (Sb.utilization sb_zero);
+  Alcotest.(check (float 0.)) "sb zero procs" 0.
+    (Sb.utilization { sb_zero with Sb.time = 10; n_procs = 0 });
+  let ws_zero =
+    {
+      Ws.time = 0;
+      work = 0;
+      misses = [||];
+      miss_cost = 0;
+      steals = 0;
+      busy = 0;
+      n_procs = 4;
+    }
+  in
+  Alcotest.(check (float 0.)) "ws zero time" 0. (Ws.utilization ws_zero);
+  Alcotest.(check (float 0.)) "ws zero procs" 0.
+    (Ws.utilization { ws_zero with Ws.time = 10; n_procs = 0 });
+  (* a real run still reports a meaningful positive utilization *)
+  let machine = small_machine () in
+  let _, p = List.hd (workloads ()) in
+  let s = Sb.run p machine in
+  let u = Sb.utilization s in
+  Alcotest.(check bool) "real run in (0,1]" true (u > 0. && u <= 1.)
+
 let () =
   Alcotest.run "nd_sched"
     [
@@ -196,5 +234,10 @@ let () =
           Alcotest.test_case "seed-deterministic" `Quick
             test_ws_deterministic_per_seed;
           Alcotest.test_case "1 proc, 0 steals" `Quick test_ws_single_proc_no_steals;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "degenerate utilization" `Quick
+            test_utilization_degenerate;
         ] );
     ]

@@ -203,6 +203,60 @@ let test_heap_fifo_ties () =
   let vals = List.init 3 (fun _ -> snd (Heap.pop h)) in
   Alcotest.(check (list int)) "FIFO on equal keys" [ 1; 2; 3 ] vals
 
+(* Regression for the heap space leak: popped entries used to survive in
+   vacated array slots (pop moved the last entry to the root without
+   clearing its old slot, and growth seeded fresh slots from a live
+   entry), pinning every value a long-lived scheduler heap had ever
+   carried.  Track popped values through a weak array: after a major GC
+   they must all be collectable even while the heap itself stays live. *)
+let test_heap_no_leak_drained () =
+  let h = Heap.create () in
+  let n = 40 in
+  (* > the initial capacity of 16, so the growth path runs too *)
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = ref (2 * i) in
+    Weak.set w i (Some v);
+    Heap.push h i v
+  done;
+  while not (Heap.is_empty h) do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check w i then incr live
+  done;
+  (* the heap (and its backing array) is reachable across the check *)
+  ignore (Sys.opaque_identity h);
+  Alcotest.(check int) "popped values pinned by a drained heap" 0 !live
+
+let test_heap_no_leak_partial () =
+  let h = Heap.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Heap.push h i v
+  done;
+  (* survivors with larger keys keep the heap non-empty *)
+  for i = 0 to 7 do
+    Heap.push h (100 + i) (ref (-1))
+  done;
+  for _ = 0 to 7 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to 7 do
+    if Weak.check w i then incr live
+  done;
+  Alcotest.(check int) "survivors retained" 8 (Heap.length h);
+  ignore (Sys.opaque_identity h);
+  Alcotest.(check int) "popped values pinned by a live heap" 0 !live
+
 let test_heap_random () =
   let rng = Prng.create 77 in
   let h = Heap.create () in
@@ -215,6 +269,85 @@ let test_heap_random () =
   let sorted = List.sort compare !reference in
   let popped = List.init 500 (fun _ -> fst (Heap.pop h)) in
   Alcotest.(check (list int)) "heapsort" sorted popped
+
+(* ----------------------------- json ------------------------------ *)
+
+module Json = Nd_util.Json
+
+(* UTF-8 encoder for building expected strings from code points *)
+let utf8_string cps =
+  let b = Buffer.create 16 in
+  List.iter
+    (fun cp ->
+      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xf0 lor (cp lsr 18)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+      end)
+    cps;
+  Buffer.contents b
+
+let test_json_surrogate_decode () =
+  (* U+1F600 as a high/low pair -> one 4-byte UTF-8 character *)
+  Alcotest.(check string) "astral pair" (utf8_string [ 0x1f600 ])
+    (Json.to_string_exn (Json.parse "\"\\ud83d\\ude00\""));
+  Alcotest.(check string) "BMP escape" (utf8_string [ 0x4e2d ])
+    (Json.to_string_exn (Json.parse "\"\\u4e2d\""));
+  Alcotest.(check string) "pair after text" (utf8_string [ 0x61; 0x10000 ])
+    (Json.to_string_exn (Json.parse "\"a\\ud800\\udc00\""));
+  (* RFC 8259 section 7: an unpaired surrogate is malformed *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted unpaired surrogate in %s" s)
+    [
+      "\"\\ud83d\"";
+      "\"\\ude00\"";
+      "\"\\ud83dx\"";
+      "\"\\ud83d\\u0041\"";
+      "\"\\ud83d\\ud83d\\ude00\"";
+    ]
+
+let test_json_surrogate_encode () =
+  let s = utf8_string [ 0x1f600; 0x61; 0x10ffff ] in
+  let ascii = Json.to_string_ascii (Json.String s) in
+  Alcotest.(check bool) "pure ASCII" true
+    (String.for_all (fun c -> Char.code c < 0x80) ascii);
+  Alcotest.(check string) "escaped round-trip" s
+    (Json.to_string_exn (Json.parse ascii))
+
+(* valid Unicode scalar values, surrogate range excluded by construction *)
+let gen_unicode_string =
+  QCheck2.Gen.(
+    let cp =
+      oneof
+        [
+          int_range 0x20 0x7e;
+          int_range 0xa0 0xd7ff;
+          int_range 0xe000 0xfffd;
+          int_range 0x10000 0x10ffff;
+        ]
+    in
+    map utf8_string (small_list cp))
+
+let prop_json_unicode_roundtrip =
+  QCheck2.Test.make ~name:"json: parse (to_string* s) = s" ~count:300
+    gen_unicode_string (fun s ->
+      let v = Json.String s in
+      Json.parse (Json.to_string v) = v
+      && Json.parse (Json.to_string_ascii v) = v)
 
 (* ----------------------------- table ----------------------------- *)
 
@@ -240,6 +373,9 @@ let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
       [ prop_union_cardinal; prop_diff_partition; prop_overlaps_consistent ]
+  in
+  let json_qsuite =
+    List.map QCheck_alcotest.to_alcotest [ prop_json_unicode_roundtrip ]
   in
   Alcotest.run "nd_util"
     [
@@ -273,7 +409,16 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_heap_order;
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "no leak when drained" `Quick
+            test_heap_no_leak_drained;
+          Alcotest.test_case "no leak while live" `Quick
+            test_heap_no_leak_partial;
           Alcotest.test_case "randomized heapsort" `Quick test_heap_random;
         ] );
+      ( "json",
+        Alcotest.test_case "surrogate decode" `Quick test_json_surrogate_decode
+        :: Alcotest.test_case "surrogate encode" `Quick
+             test_json_surrogate_encode
+        :: json_qsuite );
       ("table", [ Alcotest.test_case "render" `Quick test_table ]);
     ]
