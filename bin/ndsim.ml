@@ -6,6 +6,18 @@ open Cmdliner
 module Pmh = Nd_pmh.Pmh
 open Nd_algos
 
+(* Usage errors — unknown names, malformed values — all leave through
+   this one door: a message plus a help pointer on stderr, exit code 2
+   (matching cmdliner's own bad-flag/unknown-subcommand path, which the
+   driver below also maps to 2). *)
+let die_usage fmt =
+  Format.kfprintf
+    (fun ppf ->
+      Format.fprintf ppf "Usage: run 'ndsim COMMAND --help' for details.@.";
+      exit 2)
+    Format.err_formatter
+    ("ndsim: " ^^ fmt ^^ "@.")
+
 let algo_arg =
   let doc =
     Printf.sprintf "Algorithm: one of %s."
@@ -29,9 +41,8 @@ let build_workload algo n base seed =
   match Nd_experiments.Workloads.find algo with
   | fam -> Nd_experiments.Workloads.build ?n ?base fam ~seed
   | exception Not_found ->
-    Format.eprintf "unknown algorithm %s; expected one of %s@." algo
-      (String.concat ", " (Nd_experiments.Workloads.names ()));
-    exit 2
+    die_usage "unknown algorithm %s; expected one of %s" algo
+      (String.concat ", " (Nd_experiments.Workloads.names ()))
 
 let mode_of np = if np then Workload.NP else Workload.ND
 
@@ -96,9 +107,7 @@ let race_cmd =
         | "trs" -> Trs.workload ~variant:Trs.Literal ~n ~base ~seed ()
         | "lcs" -> Lcs.workload ~variant:`Literal ~n ~base ~seed ()
         | "fw1d" -> Fw1d.workload ~variant:`Literal ~n ~base ~seed ()
-        | other ->
-          Format.eprintf "no literal variant for %s@." other;
-          exit 2
+        | other -> die_usage "no literal variant for %s" other
       else build_workload algo n base seed
     in
     let p = Workload.compile ~mode:(mode_of np) w in
@@ -151,9 +160,7 @@ let lint_cmd =
     | "trs" -> Trs.workload ~variant:Trs.Literal ~n ~base ~seed ()
     | "lcs" -> Lcs.workload ~variant:`Literal ~n ~base ~seed ()
     | "fw1d" -> Fw1d.workload ~variant:`Literal ~n ~base ~seed ()
-    | other ->
-      Format.eprintf "no literal variant for %s@." other;
-      exit 2
+    | other -> die_usage "no literal variant for %s" other
   in
   let run algo n base seed all json literal =
     let targets =
@@ -379,8 +386,8 @@ let trace_cmd =
         Format.printf "forkjoin: workers=%d max err=%g@." nw (w.Workload.check ());
         (t, true)
       | other ->
-        Format.eprintf "unknown scheduler %s (want sb|ws|serial|dataflow|forkjoin)@." other;
-        exit 2
+        die_usage "unknown scheduler %s (want sb|ws|serial|dataflow|forkjoin)"
+          other
     in
     finish_trace tracer out;
     print_string (Nd_trace.Summary.to_string tracer);
@@ -414,9 +421,7 @@ let experiments_cmd =
     | None -> Nd_experiments.Suite.run_all ()
     | Some name -> (
       try Nd_experiments.Suite.run name
-      with Not_found ->
-        Format.eprintf "unknown experiment %s@." name;
-        exit 2)
+      with Not_found -> die_usage "unknown experiment %s" name)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiment suite.")
@@ -445,8 +450,7 @@ let suite_cmd =
     let known name = List.mem_assoc name Nd_experiments.Suite.all in
     match (which, json) with
     | Some name, _ when not (known name) ->
-      Format.eprintf "unknown experiment %s@." name;
-      exit 2
+      die_usage "unknown experiment %s" name
     | Some name, None -> Nd_experiments.Suite.run name
     | Some name, Some dir -> (
       try Nd_experiments.Suite.run_json ~dir name
@@ -581,11 +585,199 @@ let fuzz_cmd =
     Term.(const run $ count_arg $ fuzz_seed_arg $ depth_arg $ replay_arg
           $ workers_arg $ failures_arg)
 
+(* ------------------------------ serve ------------------------------ *)
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/ndsim.sock"
+       & info [ "socket"; "s" ] ~docv:"ADDR"
+           ~doc:"Server address: a unix socket path, or $(b,HOST:PORT) for \
+                 TCP.")
+
+let serve_cmd =
+  let module Server = Nd_serve.Server in
+  let pool_arg =
+    Arg.(value & opt_all string []
+         & info [ "pool" ] ~docv:"NAME=SIZE"
+             ~doc:"Worker-pool size override, e.g. $(b,--pool analyze=2) \
+                   (pools: analyze, simulate, fuzz; repeatable).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Request-queue shards per pool.")
+  in
+  let max_frame_arg =
+    Arg.(value & opt int Nd_util.Json.Frame.default_max_frame
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:"Reject request frames above this payload size.")
+  in
+  let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No banner.") in
+  let parse_pool s =
+    match String.index_opt s '=' with
+    | Some i -> (
+      let name = String.sub s 0 i
+      and size = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt size with
+      | Some k when k >= 1 && List.mem name [ "analyze"; "simulate"; "fuzz" ]
+        ->
+        (name, k)
+      | _ -> die_usage "bad --pool %s (want analyze|simulate|fuzz=SIZE)" s)
+    | None -> die_usage "bad --pool %s (want analyze|simulate|fuzz=SIZE)" s
+  in
+  let run addr pools shards max_frame quiet =
+    let cfg =
+      {
+        (Server.default_config (Nd_serve.Protocol.addr_of_string addr)) with
+        Server.pool_sizes = List.map parse_pool pools;
+        shards = max 1 shards;
+        max_frame = max 1024 max_frame;
+        quiet;
+      }
+    in
+    match Server.run cfg with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, arg) ->
+      Format.eprintf "ndsim serve: cannot listen on %s: %s (%s)@." addr
+        (Unix.error_message e) arg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the analysis daemon: lint/race/simulate/fuzz/suite requests \
+             over length-prefixed JSON frames, dispatched to named worker \
+             micropools with keyed artifact caches.  Send a \
+             $(b,{\"kind\":\"shutdown\"}) request (or SIGINT) to stop.")
+    Term.(const run $ socket_arg $ pool_arg $ shards_arg $ max_frame_arg
+          $ quiet_arg)
+
+(* ----------------------------- loadgen ----------------------------- *)
+
+let loadgen_cmd =
+  let module Loadgen = Nd_serve.Loadgen in
+  let module P = Nd_serve.Protocol in
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients"; "c" ] ~docv:"N" ~doc:"Concurrent closed-loop clients.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 10.
+         & info [ "duration"; "d" ] ~docv:"S" ~doc:"Run length in seconds.")
+  in
+  let pipeline_arg =
+    Arg.(value & opt int 8
+         & info [ "pipeline" ] ~docv:"W"
+             ~doc:"Requests in flight per connection (1 = strict \
+                   request/response lockstep).")
+  in
+  let mix_arg =
+    Arg.(value & opt string "lint=2,sim=1,race=1"
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:"Weighted request mix: comma/colon-separated \
+                   $(b,kind=weight) tokens over ping, lint, race, sim, \
+                   stats (e.g. $(b,lint:sim:race)).")
+  in
+  let lg_algo_arg =
+    Arg.(value & opt string "mm"
+         & info [ "algo"; "a" ] ~docv:"NAME" ~doc:"Workload the requests hit.")
+  in
+  let lg_n_arg =
+    Arg.(value & opt int 16 & info [ "n"; "size" ] ~docv:"N" ~doc:"Problem size.")
+  in
+  let lg_base_arg =
+    Arg.(value & opt int 4 & info [ "base"; "b" ] ~docv:"B" ~doc:"Base-case size.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the BENCH_5 latency/throughput JSON to FILE.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Send a shutdown request to the server after the run \
+                   (clean daemon exit for CI).")
+  in
+  let run addr clients duration pipeline mix algo n base seed json_out
+      shutdown =
+    let mix =
+      match Loadgen.parse_mix mix with
+      | m -> m
+      | exception Failure msg -> die_usage "%s" msg
+    in
+    let spec =
+      {
+        Loadgen.addr = P.addr_of_string addr;
+        clients;
+        duration;
+        pipeline = max 1 pipeline;
+        mix;
+        wk = { P.algo; n = Some n; base = Some base; seed; np = false };
+        top = 1;
+      }
+    in
+    (* --duration 0 skips the load phase: with --shutdown that makes a
+       pure "stop the daemon" invocation *)
+    let r =
+      if duration <= 0. then None
+      else
+        match Loadgen.run spec with
+        | r -> Some r
+        | exception Unix.Unix_error (e, _, _) ->
+          Format.eprintf "ndsim loadgen: cannot reach %s: %s@." addr
+            (Unix.error_message e);
+          exit 1
+    in
+    (match r with
+    | None -> ()
+    | Some r ->
+      Nd_util.Table.print (Loadgen.table r);
+      (match json_out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        Nd_util.Json.to_channel oc (Loadgen.to_json spec r);
+        close_out oc;
+        Format.printf "wrote %s@." file));
+    if shutdown then begin
+      match Nd_serve.Client.connect spec.Loadgen.addr with
+      | conn ->
+        (try
+           ignore (Nd_serve.Client.call_exn conn P.Shutdown);
+           Format.printf "server acknowledged shutdown@."
+         with e ->
+           Format.eprintf "shutdown request failed: %s@."
+             (Printexc.to_string e));
+        Nd_serve.Client.close conn
+      | exception Unix.Unix_error _ ->
+        Format.eprintf "shutdown request failed: server unreachable@."
+    end;
+    match r with
+    | Some r when r.Loadgen.failures > 0 -> exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Closed-loop load generator against $(b,ndsim serve): N client \
+             connections keep a pipeline window of weighted \
+             lint/sim/race/ping requests in flight for a fixed duration, \
+             then report per-kind latency percentiles and total \
+             throughput (the BENCH_5 numbers).")
+    Term.(const run $ socket_arg $ clients_arg $ duration_arg $ pipeline_arg
+          $ mix_arg $ lg_algo_arg $ lg_n_arg $ lg_base_arg $ seed_arg
+          $ json_arg $ shutdown_arg)
+
 let () =
   let doc = "Nested Dataflow model: analysis, simulation and experiments" in
   let info = Cmd.info "ndsim" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ span_cmd; race_cmd; lint_cmd; sb_cmd; check_cmd; drs_cmd;
-            trace_cmd; experiments_cmd; suite_cmd; fuzz_cmd ]))
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [ span_cmd; race_cmd; lint_cmd; sb_cmd; check_cmd; drs_cmd;
+           trace_cmd; experiments_cmd; suite_cmd; fuzz_cmd; serve_cmd;
+           loadgen_cmd ])
+  in
+  (* cmdliner reports CLI misuse — unknown subcommand, bad flag — as
+     its [cli_error] code (124) after printing usage on stderr; fold it
+     onto the conventional 2 so every usage error, cmdliner-detected or
+     [die_usage], exits identically *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

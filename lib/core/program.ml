@@ -38,6 +38,7 @@ type t = {
   vertex_owner : int array;
   fire_edges : (node_id * node_id) list;
   decomp_cache : (int, decomposition) Hashtbl.t;
+  decomp_lock : Mutex.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -301,6 +302,7 @@ let compile ~registry tree =
     fire_edges =
       List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) fire_edges []);
     decomp_cache = Hashtbl.create 16;
+    decomp_lock = Mutex.create ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -407,18 +409,21 @@ let decompose_uncached t ~m =
 
 (* Memoized per program: sigma-sweeps and the Q*/Q-hat metrics query the
    same handful of [m] values over and over, and a decomposition is
-   immutable once built.  Not thread-safe: share a program across domains
-   only after the decompositions it needs have been computed (the
-   experiment suite compiles one program per experiment, so its parallel
-   driver never races here). *)
+   immutable once built.  The memo table is mutex-guarded (the analysis
+   server shares one compiled program across pool domains); computing
+   inside the lock doubles as single-flight, so a given [m] is
+   decomposed exactly once per program no matter how many domains race
+   on it.  The critical section is O(nodes) — negligible next to the
+   simulations that consume the result. *)
 let decompose t ~m =
   if m < 1 then invalid_arg "Program.decompose: m < 1";
-  match Hashtbl.find_opt t.decomp_cache m with
-  | Some d -> d
-  | None ->
-    let d = decompose_uncached t ~m in
-    Hashtbl.add t.decomp_cache m d;
-    d
+  Mutex.protect t.decomp_lock (fun () ->
+      match Hashtbl.find_opt t.decomp_cache m with
+      | Some d -> d
+      | None ->
+        let d = decompose_uncached t ~m in
+        Hashtbl.add t.decomp_cache m d;
+        d)
 
 let enclosing_task d n = d.task_of_node.(n)
 

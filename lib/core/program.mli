@@ -113,9 +113,10 @@ type decomposition = {
 
     Results are memoized per program (keyed by [m]) — sigma-sweeps and
     the PCC/ECC metrics re-request the same decompositions, and the
-    result is immutable.  The memo table is not synchronized: share a
-    program across domains only read-only, after the decompositions it
-    needs exist.
+    result is immutable.  The memo table is mutex-guarded and computes
+    under the lock (single-flight), so a compiled program may be shared
+    freely across domains — the analysis server's worker pools rely on
+    this.
     @raise Invalid_argument if [m < 1]. *)
 val decompose : t -> m:int -> decomposition
 

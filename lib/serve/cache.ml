@@ -1,0 +1,88 @@
+module Json = Nd_util.Json
+
+type 'v entry = { value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  name : string;
+  cap : int;
+  tbl : ('k, 'v entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~name ~cap () =
+  let cap = max 1 cap in
+  {
+    name;
+    cap;
+    tbl = Hashtbl.create (min 64 (2 * cap));
+    lock = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let name t = t.name
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let evict_lru t =
+  (* caps are tens of entries: an O(size) scan on the eviction path is
+     cheaper than maintaining an intrusive list *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let find_or_compute t k f =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        touch t e;
+        e.value
+      | None ->
+        t.misses <- t.misses + 1;
+        let value = f () in
+        if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+        let e = { value; stamp = 0 } in
+        touch t e;
+        Hashtbl.add t.tbl k e;
+        value)
+
+let find_opt t k =
+  Mutex.protect t.lock (fun () ->
+      Option.map (fun e -> e.value) (Hashtbl.find_opt t.tbl k))
+
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions
+
+let stats_json t =
+  Json.Obj
+    [
+      ("name", Json.String t.name);
+      ("size", Json.Int (length t));
+      ("cap", Json.Int t.cap);
+      ("hits", Json.Int t.hits);
+      ("misses", Json.Int t.misses);
+      ("evictions", Json.Int t.evictions);
+    ]

@@ -1,0 +1,39 @@
+(** Keyed LRU caches over the server's hot artifacts.
+
+    Mutex-guarded, with the compute function run {e inside} the lock:
+    a given key is computed exactly once however many pool workers
+    race on it (single-flight), at the cost of serializing concurrent
+    misses of one cache — the right trade for artifacts that are
+    expensive to build and cheap to look up (compiled programs, race
+    verdicts, experiment tables).  Distinct caches have distinct
+    locks, so e.g. a long suite build never blocks the lint cache.
+
+    Keys use structural equality/hashing; values are never mutated by
+    the cache.  Capacity eviction is strict LRU (stamped on every
+    hit). *)
+
+type ('k, 'v) t
+
+(** [create ~name ~cap ()] — [cap >= 1] entries (clamped). *)
+val create : name:string -> cap:int -> unit -> ('k, 'v) t
+
+val name : _ t -> string
+
+(** [find_or_compute t k f] — the cached value, or [f ()] inserted
+    under [k] (evicting the least recently used entry if full).
+    Exceptions from [f] propagate and cache nothing. *)
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+(** Peek without computing or touching LRU order. *)
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+
+val length : _ t -> int
+
+val hits : _ t -> int
+
+val misses : _ t -> int
+
+val evictions : _ t -> int
+
+(** [{"name";"size";"cap";"hits";"misses";"evictions"}]. *)
+val stats_json : _ t -> Nd_util.Json.t

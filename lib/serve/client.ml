@@ -1,0 +1,73 @@
+module Json = Nd_util.Json
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Json.Frame.decoder;
+  buf : Bytes.t;
+  mutable next_id : int;
+}
+
+let connect addr =
+  let fd =
+    match (addr : P.addr) with
+    | P.Unix_path path ->
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      (try Unix.connect fd (ADDR_UNIX path)
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+    | P.Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (ADDR_INET (inet, port));
+         Unix.setsockopt fd TCP_NODELAY true
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+  in
+  { fd; dec = Json.Frame.decoder (); buf = Bytes.create 65536; next_id = 1 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < n then
+      let k = Unix.write fd b off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+let send t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  write_all t.fd (Json.Frame.encode (P.request_to_json { P.id; req }));
+  id
+
+let rec recv t =
+  match Json.Frame.next t.dec with
+  | Some json -> P.response_of_json json
+  | None ->
+    let k = Unix.read t.fd t.buf 0 (Bytes.length t.buf) in
+    if k = 0 then raise End_of_file;
+    Json.Frame.feed t.dec t.buf 0 k;
+    recv t
+
+let call t req =
+  let id = send t req in
+  let rec await () =
+    let r = recv t in
+    if r.P.id = id then r else await ()
+    (* single caller: mismatched ids only happen if [send]/[recv] pairs
+       were interleaved; skipping is the defensible recovery *)
+  in
+  await ()
+
+let call_exn t req =
+  match (call t req).P.result with
+  | Ok v -> v
+  | Error msg -> failwith msg

@@ -1,0 +1,31 @@
+(** A blocking client for the analysis server.
+
+    Ids are assigned by the client, monotonically per connection.
+    {!call} is the synchronous one-request path; {!send}/{!recv} split
+    the two halves so a caller can keep a pipeline window of requests
+    in flight on one connection (the load generator's closed loop).
+    Responses are returned in arrival order, which for a window > 1
+    need not be send order — match on {!Protocol.response}[.id]. *)
+
+type t
+
+(** @raise Unix.Unix_error when the server is unreachable. *)
+val connect : Protocol.addr -> t
+
+val close : t -> unit
+
+(** [send t req] — frame and write the request, returning its id. *)
+val send : t -> Protocol.request -> int
+
+(** [recv t] — block until the next complete response frame.
+    @raise End_of_file if the server closed the connection
+    @raise Nd_util.Json.Frame.Error / {!Protocol.Protocol_error} on a
+    malformed stream. *)
+val recv : t -> Protocol.response
+
+(** [call t req] = {!send} then {!recv} (single request in flight). *)
+val call : t -> Protocol.request -> Protocol.response
+
+(** [call_exn t req] — {!call}, unwrapping the payload.
+    @raise Failure on an error response. *)
+val call_exn : t -> Protocol.request -> Nd_util.Json.t

@@ -1,0 +1,239 @@
+module Json = Nd_util.Json
+module Histogram = Nd_util.Histogram
+module Table = Nd_util.Table
+module P = Protocol
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+type spec = {
+  addr : P.addr;
+  clients : int;
+  duration : float;
+  pipeline : int;
+  mix : (string * int) list;
+  wk : P.workload_key;
+  top : int;
+}
+
+type result = {
+  wall_s : float;
+  completed : int;
+  failures : int;
+  throughput : float;
+  per_kind : (string * Histogram.t) list;
+}
+
+let known_kinds = [ "ping"; "lint"; "race"; "simulate"; "stats" ]
+
+let parse_mix s =
+  let tokens =
+    String.split_on_char ',' s
+    |> List.concat_map (String.split_on_char ':')
+    |> List.filter_map (fun tok ->
+           let tok = String.trim tok in
+           if tok = "" then None else Some tok)
+  in
+  if tokens = [] then failwith "empty mix";
+  List.map
+    (fun tok ->
+      let kind, weight =
+        match String.index_opt tok '=' with
+        | None -> (tok, 1)
+        | Some i -> (
+          let k = String.sub tok 0 i
+          and w = String.sub tok (i + 1) (String.length tok - i - 1) in
+          match int_of_string_opt w with
+          | Some w when w >= 1 -> (k, w)
+          | _ -> Printf.ksprintf failwith "bad weight in mix token %S" tok)
+      in
+      let kind = if kind = "sim" then "simulate" else kind in
+      if not (List.mem kind known_kinds) then
+        Printf.ksprintf failwith "unknown mix kind %S (expected %s)" kind
+          (String.concat ", " known_kinds);
+      (kind, weight))
+    tokens
+
+let request_of_kind spec = function
+  | "ping" -> P.Ping
+  | "lint" -> P.Lint spec.wk
+  | "race" -> P.Race spec.wk
+  | "simulate" -> P.Simulate { wk = spec.wk; top = spec.top; fine = false }
+  | "stats" -> P.Stats
+  | k -> Printf.ksprintf failwith "unknown request kind %S" k
+
+(* the weighted mix expanded into a request cycle, interleaved by
+   repeated weight decrement so e.g. 2:1:1 yields a b c a — no long
+   same-kind bursts *)
+let cycle_of_mix mix =
+  let mix = List.filter (fun (_, w) -> w > 0) mix in
+  let remaining = Array.of_list (List.map snd mix) in
+  let names = Array.of_list (List.map fst mix) in
+  let out = ref [] in
+  let left = ref (Array.fold_left ( + ) 0 remaining) in
+  while !left > 0 do
+    Array.iteri
+      (fun i w ->
+        if w > 0 then begin
+          out := names.(i) :: !out;
+          remaining.(i) <- w - 1;
+          decr left
+        end)
+      remaining
+  done;
+  Array.of_list (List.rev !out)
+
+type client_out = {
+  mutable c_completed : int;
+  mutable c_failures : int;
+  c_hists : (string * Histogram.t) array;
+}
+
+let run_client spec deadline_ns out =
+  let conn = Client.connect spec.addr in
+  let cycle = cycle_of_mix spec.mix in
+  let kind_idx =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun i (k, _) -> Hashtbl.replace tbl k i) out.c_hists;
+    fun k -> Hashtbl.find tbl k
+  in
+  let inflight = Hashtbl.create (2 * spec.pipeline) in
+  let pos = ref 0 in
+  let send_next () =
+    let kind = cycle.(!pos mod Array.length cycle) in
+    incr pos;
+    let id = Client.send conn (request_of_kind spec kind) in
+    Hashtbl.replace inflight id (now_ns (), kind)
+  in
+  let settle (r : P.response) =
+    match Hashtbl.find_opt inflight r.P.id with
+    | None -> ()
+    | Some (t0, kind) ->
+      Hashtbl.remove inflight r.P.id;
+      out.c_completed <- out.c_completed + 1;
+      (match r.P.result with
+      | Ok _ -> ()
+      | Error _ -> out.c_failures <- out.c_failures + 1);
+      Histogram.record (snd out.c_hists.(kind_idx kind)) (now_ns () - t0)
+  in
+  (try
+     for _ = 1 to max 1 spec.pipeline do
+       send_next ()
+     done;
+     while now_ns () < deadline_ns do
+       settle (Client.recv conn);
+       send_next ()
+     done;
+     (* drain the window without refilling it *)
+     while Hashtbl.length inflight > 0 do
+       settle (Client.recv conn)
+     done
+   with End_of_file | Unix.Unix_error _ | Json.Frame.Error _ ->
+     (* connection died: everything still in flight is lost *)
+     out.c_failures <- out.c_failures + Hashtbl.length inflight);
+  Client.close conn
+
+let run spec =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let clients = max 1 spec.clients in
+  let kinds = List.map fst spec.mix in
+  let outs =
+    Array.init clients (fun _ ->
+        {
+          c_completed = 0;
+          c_failures = 0;
+          c_hists =
+            Array.of_list (List.map (fun k -> (k, Histogram.create ())) kinds);
+        })
+  in
+  let t_start = now_ns () in
+  let deadline = t_start + int_of_float (spec.duration *. 1e9) in
+  let threads =
+    Array.map
+      (fun out -> Thread.create (fun () -> run_client spec deadline out) ())
+      outs
+  in
+  Array.iter Thread.join threads;
+  let wall_s = float_of_int (now_ns () - t_start) /. 1e9 in
+  let merged = List.map (fun k -> (k, Histogram.create ())) kinds in
+  Array.iter
+    (fun out ->
+      Array.iter
+        (fun (k, h) -> Histogram.merge ~into:(List.assoc k merged) h)
+        out.c_hists)
+    outs;
+  let completed = Array.fold_left (fun a o -> a + o.c_completed) 0 outs in
+  let failures = Array.fold_left (fun a o -> a + o.c_failures) 0 outs in
+  {
+    wall_s;
+    completed;
+    failures;
+    throughput = (if wall_s > 0. then float_of_int completed /. wall_s else 0.);
+    per_kind = merged;
+  }
+
+let us ns = float_of_int ns /. 1e3
+
+let table r =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "loadgen: %d requests in %.2fs = %.0f req/s (%d failure(s))"
+           r.completed r.wall_s r.throughput r.failures)
+      [ "kind"; "count"; "p50 us"; "p90 us"; "p95 us"; "p99 us"; "max us" ]
+  in
+  List.iter
+    (fun (k, h) ->
+      if Histogram.count h > 0 then
+        Table.add_row t
+          [
+            k;
+            Table.cell_int (Histogram.count h);
+            Table.cell_float ~prec:1 (us (Histogram.percentile h 0.50));
+            Table.cell_float ~prec:1 (us (Histogram.percentile h 0.90));
+            Table.cell_float ~prec:1 (us (Histogram.percentile h 0.95));
+            Table.cell_float ~prec:1 (us (Histogram.percentile h 0.99));
+            Table.cell_float ~prec:1 (us (Histogram.max_value h));
+          ])
+    r.per_kind;
+  t
+
+let to_json spec r =
+  Json.Obj
+    [
+      ( "title",
+        Json.String
+          "BENCH_5: analysis-server closed-loop latency and throughput" );
+      ( "config",
+        Json.Obj
+          [
+            ("clients", Json.Int spec.clients);
+            ("duration_s", Json.Float spec.duration);
+            ("pipeline", Json.Int spec.pipeline);
+            ( "mix",
+              Json.Obj
+                (List.map (fun (k, w) -> (k, Json.Int w)) spec.mix) );
+            ("algo", Json.String spec.wk.P.algo);
+            ( "n",
+              match spec.wk.P.n with Some n -> Json.Int n | None -> Json.Null
+            );
+            ( "base",
+              match spec.wk.P.base with
+              | Some b -> Json.Int b
+              | None -> Json.Null );
+            ("seed", Json.Int spec.wk.P.seed);
+          ] );
+      ("wall_s", Json.Float r.wall_s);
+      ("completed", Json.Int r.completed);
+      ("failures", Json.Int r.failures);
+      ("throughput_rps", Json.Float r.throughput);
+      ( "latency_ns",
+        Json.Obj
+          (List.filter_map
+             (fun (k, h) ->
+               if Histogram.count h > 0 then Some (k, Histogram.to_json h)
+               else None)
+             r.per_kind) );
+      ("table", Table.to_json (table r));
+    ]

@@ -1,0 +1,42 @@
+(** Closed-loop load generator for the analysis server.
+
+    [clients] threads each keep a window of [pipeline] requests in
+    flight on their own connection (window 1 = classic one-at-a-time
+    closed loop) for [duration] seconds, drawing request kinds from a
+    weighted [mix].  Latency is measured per request from send to
+    response arrival and recorded in per-client per-kind
+    {!Nd_util.Histogram}s, merged into the final {!result} — the
+    numbers behind BENCH_5. *)
+
+type spec = {
+  addr : Protocol.addr;
+  clients : int;
+  duration : float;  (** seconds *)
+  pipeline : int;  (** requests in flight per connection, >= 1 *)
+  mix : (string * int) list;  (** request kind -> weight *)
+  wk : Protocol.workload_key;  (** workload the lint/race/sim requests hit *)
+  top : int;  (** PMH root fanout for simulate requests *)
+}
+
+type result = {
+  wall_s : float;  (** measured wall-clock, connect to last drain *)
+  completed : int;
+  failures : int;  (** error responses + requests lost to dead connections *)
+  throughput : float;  (** completed / wall_s *)
+  per_kind : (string * Nd_util.Histogram.t) list;  (** latency, ns *)
+}
+
+(** [parse_mix s] — comma/colon-separated [kind] or [kind=weight]
+    tokens, e.g. ["lint=2,sim=1,race=1"] or ["lint:sim:race"].  [sim]
+    is shorthand for [simulate].
+    @raise Failure on an unknown kind or malformed weight. *)
+val parse_mix : string -> (string * int) list
+
+val run : spec -> result
+
+(** Human-readable per-kind latency table (microseconds). *)
+val table : result -> Nd_util.Table.t
+
+(** The BENCH_5 payload: config echo, totals, and the per-kind
+    histogram table. *)
+val to_json : spec -> result -> Nd_util.Json.t

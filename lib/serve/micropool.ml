@@ -1,0 +1,62 @@
+type t = {
+  name : string;
+  size : int;
+  queue : (wid:int -> unit) Mpmc.t;
+  lock : Mutex.t;  (* guards [domains] / lazy start *)
+  mutable domains : unit Domain.t list;
+  executed : int Atomic.t;
+  errors : int Atomic.t;
+}
+
+let create ?(shards = 4) ~name ~size () =
+  {
+    name;
+    size = max 1 size;
+    queue = Mpmc.create ~shards ();
+    lock = Mutex.create ();
+    domains = [];
+    executed = Atomic.make 0;
+    errors = Atomic.make 0;
+  }
+
+let name t = t.name
+
+let size t = t.size
+
+let started t = Mutex.protect t.lock (fun () -> t.domains <> [])
+
+let worker t wid =
+  let rec loop () =
+    match Mpmc.pop t.queue with
+    | None -> ()
+    | Some job ->
+      (try job ~wid with _ -> Atomic.incr t.errors);
+      Atomic.incr t.executed;
+      loop ()
+  in
+  loop ()
+
+let ensure_started t =
+  Mutex.protect t.lock (fun () ->
+      if t.domains = [] && not (Mpmc.is_closed t.queue) then
+        t.domains <-
+          List.init t.size (fun wid -> Domain.spawn (fun () -> worker t wid)))
+
+let submit t job =
+  ensure_started t;
+  Mpmc.push t.queue job
+
+let executed t = Atomic.get t.executed
+
+let errors t = Atomic.get t.errors
+
+let backlog t = Mpmc.length t.queue
+
+let shutdown t =
+  Mpmc.close t.queue;
+  let ds = Mutex.protect t.lock (fun () ->
+      let ds = t.domains in
+      t.domains <- [];
+      ds)
+  in
+  List.iter Domain.join ds

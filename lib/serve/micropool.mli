@@ -1,0 +1,42 @@
+(** Named worker micropools.
+
+    A micropool is a fixed-size team of domains draining a private
+    sharded {!Mpmc} queue of jobs.  Domains are spawned {e lazily} on
+    the first {!submit} — a server configured with pools the traffic
+    never touches pays nothing for them — and joined by {!shutdown}.
+    Jobs receive their worker index [wid] in [0 .. size-1] so callers
+    can keep per-worker state (the server keys latency histograms by
+    it) without synchronization.
+
+    A job that raises is counted in {!errors} and the worker moves on;
+    exceptions never kill a pool. *)
+
+type t
+
+(** [create ~name ~size ()] — [size >= 1] domains (clamped), queue
+    sharded [shards] ways (default 4). *)
+val create : ?shards:int -> name:string -> size:int -> unit -> t
+
+val name : t -> string
+
+val size : t -> int
+
+(** Domains spawned (first {!submit} happened). *)
+val started : t -> bool
+
+(** [submit t job] enqueues [job]; spawns the workers if this is the
+    first submission.  @raise Mpmc.Closed after {!shutdown}. *)
+val submit : t -> (wid:int -> unit) -> unit
+
+(** Jobs completed (including erroring ones). *)
+val executed : t -> int
+
+(** Jobs that raised. *)
+val errors : t -> int
+
+(** Jobs enqueued and not yet picked up (approximate). *)
+val backlog : t -> int
+
+(** Close the queue, drain remaining jobs, join the domains.
+    Idempotent. *)
+val shutdown : t -> unit

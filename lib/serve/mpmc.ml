@@ -1,0 +1,104 @@
+type 'a shard = { lock : Mutex.t; items : 'a Queue.t }
+
+type 'a t = {
+  shards : 'a shard array;
+  push_ctr : int Atomic.t;  (* round-robin producer cursor *)
+  pop_ctr : int Atomic.t;  (* round-robin consumer scan start *)
+  (* global rendezvous: [avail] counts undelivered items and is only
+     touched under [glock]; a consumer that decrements it owns one item
+     that is already in (or on its way out of) some shard *)
+  glock : Mutex.t;
+  gcond : Condition.t;
+  mutable avail : int;
+  mutable closed : bool;
+}
+
+exception Closed
+
+let create ?(shards = 4) () =
+  let shards = max 1 shards in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { lock = Mutex.create (); items = Queue.create () });
+    push_ctr = Atomic.make 0;
+    pop_ctr = Atomic.make 0;
+    glock = Mutex.create ();
+    gcond = Condition.create ();
+    avail = 0;
+    closed = false;
+  }
+
+let n_shards t = Array.length t.shards
+
+let push t x =
+  if t.closed then raise Closed;
+  let s = t.shards.(Atomic.fetch_and_add t.push_ctr 1 mod n_shards t) in
+  Mutex.protect s.lock (fun () -> Queue.push x s.items);
+  (* publish after the item is visible in its shard: a consumer that
+     wins the [avail] decrement finds it on the first sweep (a push
+     racing [close] still publishes — close-then-drain semantics) *)
+  Mutex.protect t.glock (fun () ->
+      t.avail <- t.avail + 1;
+      Condition.signal t.gcond)
+
+let scan_once t =
+  let n = n_shards t in
+  let start = Atomic.fetch_and_add t.pop_ctr 1 mod n in
+  let rec go i =
+    if i = n then None
+    else
+      let s = t.shards.((start + i) mod n) in
+      match Mutex.protect s.lock (fun () -> Queue.take_opt s.items) with
+      | Some _ as r -> r
+      | None -> go (i + 1)
+  in
+  go 0
+
+(* keep scanning until the reserved item is found: producers enqueue
+   before publishing, so at most [reservations in flight] sweeps can
+   miss — in practice the first sweep hits *)
+let rec take_reserved t =
+  match scan_once t with
+  | Some _ as r -> r
+  | None ->
+    Domain.cpu_relax ();
+    take_reserved t
+
+let pop t =
+  let reserved =
+    Mutex.protect t.glock (fun () ->
+        let rec wait () =
+          if t.avail > 0 then begin
+            t.avail <- t.avail - 1;
+            true
+          end
+          else if t.closed then false
+          else begin
+            Condition.wait t.gcond t.glock;
+            wait ()
+          end
+        in
+        wait ())
+  in
+  if reserved then take_reserved t else None
+
+let try_pop t =
+  let reserved =
+    Mutex.protect t.glock (fun () ->
+        if t.avail > 0 then begin
+          t.avail <- t.avail - 1;
+          true
+        end
+        else false)
+  in
+  if reserved then take_reserved t else None
+
+let length t = Mutex.protect t.glock (fun () -> max 0 t.avail)
+
+let close t =
+  Mutex.protect t.glock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.gcond)
+
+let is_closed t = t.closed

@@ -1,0 +1,43 @@
+(** The analysis daemon: a socket front-end over the whole offline
+    toolchain (lint, ESP race verdicts, space-bounded simulation, fuzz,
+    experiment tables), with keyed artifact caches so repeated queries
+    are O(lookup).
+
+    Topology (see DESIGN.md section 11): one accept loop; one reader
+    thread per connection decoding length-prefixed
+    {!Nd_util.Json.Frame}s; decoded requests are enqueued on the
+    sharded {!Mpmc} queue of the micropool owning their kind
+    ([analyze] for lint/race, [simulate] for simulate/suite, [fuzz]
+    for fuzz); pool domains execute and write the response frame back
+    under the connection's write lock (responses may therefore
+    interleave across requests — clients match on [id]).  [ping],
+    [stats] and [shutdown] are answered inline by the reader thread.
+
+    Per-request latency (decode to response written, queue wait
+    included) is recorded in a per-worker per-kind
+    {!Nd_util.Histogram} and merged on demand by the [stats]
+    request. *)
+
+type config = {
+  addr : Protocol.addr;
+  pool_sizes : (string * int) list;
+      (** overrides for the [analyze]/[simulate]/[fuzz] pools; default
+          size for each is [max 1 (Executor.default_workers () / 2)] *)
+  shards : int;  (** request-queue shards per pool *)
+  max_frame : int;  (** reject frames above this many payload bytes *)
+  program_cache_cap : int;  (** compiled-workload entries *)
+  result_cache_cap : int;  (** entries per result cache *)
+  quiet : bool;
+}
+
+val default_config : Protocol.addr -> config
+
+(** The standard simulation machine of the CLI: three cache levels
+    (64/512/4096 words) under [top] root caches, 16 processors each. *)
+val standard_machine : top:int -> Nd_pmh.Pmh.t
+
+(** [run config] — bind, serve until a [shutdown] request (or
+    SIGINT/SIGTERM), drain the pools, clean up the socket.  Blocks for
+    the server's whole life; returns on clean shutdown.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+val run : config -> unit

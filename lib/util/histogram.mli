@@ -1,0 +1,52 @@
+(** Log-bucketed latency histograms, mergeable across workers.
+
+    Values are non-negative integers (the server records nanoseconds).
+    Buckets follow the HdrHistogram layout: values below {!n_sub} are
+    exact; above that, each power-of-two range is split into {!n_sub}
+    linear sub-buckets, so any recorded value is reconstructed with a
+    relative error below [1/n_sub] (6.25%).  The whole structure is a
+    flat int array: {!record} is a couple of shifts and one increment,
+    and {!merge} is element-wise addition — each server worker owns a
+    private histogram and the [stats] request folds them together.
+
+    Thread-safety: a histogram must be {e written} by one thread at a
+    time.  Concurrent readers (the stats path) may observe a
+    mid-update snapshot — counts lag by at most the in-flight records,
+    which is exactly the usual monitoring contract. *)
+
+type t
+
+(** Sub-buckets per power-of-two range (16). *)
+val n_sub : int
+
+val create : unit -> t
+
+(** [record t v] adds one observation ([v < 0] is clamped to 0). *)
+val record : t -> int -> unit
+
+val count : t -> int
+
+(** Sum / min / max of the recorded values ([min] is 0 when empty). *)
+val sum : t -> int
+
+val min_value : t -> int
+
+val max_value : t -> int
+
+val mean : t -> float
+
+(** [percentile t q] for [q] in [0..1]: an upper bound for the value at
+    rank [ceil (q * count)], exact below {!n_sub} and within one
+    sub-bucket above.  0 when empty. *)
+val percentile : t -> float -> int
+
+(** [merge ~into src] adds [src]'s counts into [into]. *)
+val merge : into:t -> t -> unit
+
+val copy : t -> t
+
+val clear : t -> unit
+
+(** [{"count";"sum";"min";"max";"mean";"p50";"p90";"p95";"p99";"max"}]
+    summary object (values in the recorded unit). *)
+val to_json : t -> Json.t

@@ -356,3 +356,69 @@ let to_number v =
 
 let to_string_exn v =
   match v with String s -> s | _ -> raise (Parse_error "expected a string")
+
+(* ------------------------------ framing ----------------------------- *)
+
+module Frame = struct
+  exception Error of string
+
+  let default_max_frame = 16 * 1024 * 1024
+
+  let encode v =
+    let payload = to_string v in
+    let n = String.length payload in
+    let b = Bytes.create (4 + n) in
+    Bytes.set_int32_be b 0 (Int32.of_int n);
+    Bytes.blit_string payload 0 b 4 n;
+    Bytes.unsafe_to_string b
+
+  type decoder = {
+    max_frame : int;
+    buf : Buffer.t;
+    mutable consumed : int;  (* bytes of [buf] already decoded *)
+  }
+
+  let decoder ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Buffer.create 256; consumed = 0 }
+
+  let feed d bytes off len =
+    if off < 0 || len < 0 || off + len > Bytes.length bytes then
+      invalid_arg "Json.Frame.feed";
+    Buffer.add_subbytes d.buf bytes off len
+
+  let feed_string d s = Buffer.add_string d.buf s
+
+  let pending d = Buffer.length d.buf - d.consumed
+
+  (* drop the consumed prefix once it dominates the buffer, so a
+     long-lived connection does not grow its buffer without bound *)
+  let compact d =
+    if d.consumed > 4096 && d.consumed * 2 > Buffer.length d.buf then begin
+      let rest = Buffer.sub d.buf d.consumed (pending d) in
+      Buffer.clear d.buf;
+      Buffer.add_string d.buf rest;
+      d.consumed <- 0
+    end
+
+  let next d =
+    if pending d < 4 then None
+    else begin
+      let hdr = Buffer.sub d.buf d.consumed 4 in
+      let len = Int32.to_int (String.get_int32_be hdr 0) in
+      if len < 0 || len > d.max_frame then
+        raise
+          (Error
+             (Printf.sprintf "frame length %d exceeds limit %d" len
+                d.max_frame));
+      if pending d < 4 + len then None
+      else begin
+        let payload = Buffer.sub d.buf (d.consumed + 4) len in
+        d.consumed <- d.consumed + 4 + len;
+        compact d;
+        match parse payload with
+        | v -> Some v
+        | exception Parse_error msg ->
+          raise (Error (Printf.sprintf "malformed frame payload: %s" msg))
+      end
+    end
+end

@@ -51,3 +51,43 @@ val to_number : t -> float
 (** [to_string_exn v] — the payload of a [String].
     @raise Parse_error otherwise. *)
 val to_string_exn : t -> string
+
+(** {2 Length-prefixed framing}
+
+    The wire format of the analysis server ([Nd_serve]): each frame is a
+    4-byte big-endian payload length followed by that many bytes of
+    serialized JSON.  [Frame] is pure — encoding returns a string and
+    decoding is an incremental push parser — so the same code is
+    exercised byte-for-byte by the unit tests and by the socket loop. *)
+module Frame : sig
+  (** Oversized frame announced by a header, or a complete frame whose
+      payload is not valid JSON.  Truncated input is {e not} an error:
+      {!next} just returns [None] until more bytes arrive. *)
+  exception Error of string
+
+  (** 16 MiB. *)
+  val default_max_frame : int
+
+  (** [encode v] — header + payload, ready to write. *)
+  val encode : t -> string
+
+  (** A stateful frame reassembler for one byte stream. *)
+  type decoder
+
+  val decoder : ?max_frame:int -> unit -> decoder
+
+  (** [feed d bytes off len] appends raw bytes (e.g. straight from
+      [Unix.read]).  @raise Invalid_argument on a bad range. *)
+  val feed : decoder -> Bytes.t -> int -> int -> unit
+
+  val feed_string : decoder -> string -> unit
+
+  (** Bytes buffered but not yet decoded. *)
+  val pending : decoder -> int
+
+  (** [next d] — the next complete frame's value, or [None] if the
+      buffered bytes end mid-frame.  @raise Error on an oversized
+      header or a malformed payload; the decoder must then be
+      discarded (the stream has no resynchronization point). *)
+  val next : decoder -> t option
+end

@@ -1,0 +1,489 @@
+(* Nd_serve: framing, protocol codec, sharded queue, micropools, keyed
+   LRU caches, the latency histogram, the thread-safety of the shared
+   decompose memo, and an end-to-end daemon round-trip over a unix
+   socket. *)
+
+module Json = Nd_util.Json
+module Histogram = Nd_util.Histogram
+module P = Nd_serve.Protocol
+module Mpmc = Nd_serve.Mpmc
+module Micropool = Nd_serve.Micropool
+module Cache = Nd_serve.Cache
+module Server = Nd_serve.Server
+module Client = Nd_serve.Client
+
+(* --------------------------- histogram ----------------------------- *)
+
+let test_hist_exact_small () =
+  let h = Histogram.create () in
+  for v = 0 to 15 do
+    Histogram.record h v
+  done;
+  Alcotest.(check int) "count" 16 (Histogram.count h);
+  Alcotest.(check int) "sum" 120 (Histogram.sum h);
+  Alcotest.(check int) "min" 0 (Histogram.min_value h);
+  Alcotest.(check int) "max" 15 (Histogram.max_value h);
+  (* small values are bucketed exactly *)
+  Alcotest.(check int) "p100 exact" 15 (Histogram.percentile h 1.0);
+  Alcotest.(check int) "p50 exact" 7 (Histogram.percentile h 0.5)
+
+let test_hist_log_bucket_bound () =
+  (* a percentile never under-reports and over-reports by < 1/16
+     relative (one sub-bucket), clamped by the exact max *)
+  let prng = Nd_util.Prng.create 7 in
+  for _ = 1 to 200 do
+    let v = 1 + Nd_util.Prng.int prng 1_000_000_000 in
+    let h = Histogram.create () in
+    Histogram.record h v;
+    let p = Histogram.percentile h 0.5 in
+    Alcotest.(check bool) "upper bound and clamped" true (p = v)
+  done
+
+let test_hist_merge () =
+  let h1 = Histogram.create () and h2 = Histogram.create () in
+  let all = Histogram.create () in
+  let prng = Nd_util.Prng.create 11 in
+  for i = 1 to 500 do
+    let v = Nd_util.Prng.int prng 100_000 in
+    Histogram.record (if i mod 2 = 0 then h1 else h2) v;
+    Histogram.record all v
+  done;
+  let m = Histogram.create () in
+  Histogram.merge ~into:m h1;
+  Histogram.merge ~into:m h2;
+  Alcotest.(check int) "count" (Histogram.count all) (Histogram.count m);
+  Alcotest.(check int) "sum" (Histogram.sum all) (Histogram.sum m);
+  Alcotest.(check int) "max" (Histogram.max_value all) (Histogram.max_value m);
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%g" (q *. 100.))
+        (Histogram.percentile all q) (Histogram.percentile m q))
+    [ 0.5; 0.9; 0.95; 0.99; 1.0 ]
+
+(* -------------------------- protocol codec -------------------------- *)
+
+let wk : P.workload_key =
+  { algo = "mm"; n = Some 16; base = Some 4; seed = 42; np = false }
+
+let wk_min : P.workload_key =
+  { algo = "fw1d"; n = None; base = None; seed = 7; np = true }
+
+let all_requests : P.envelope list =
+  [
+    { id = 1; req = P.Ping };
+    { id = 2; req = P.Lint wk };
+    { id = 3; req = P.Lint wk_min };
+    { id = 4; req = P.Race wk };
+    { id = 5; req = P.Simulate { wk; top = 2; fine = true } };
+    { id = 6; req = P.Fuzz { count = 5; seed = 99; max_depth = 4 } };
+    { id = 7; req = P.Suite { exp = "overview" } };
+    { id = 8; req = P.Stats };
+    { id = 9; req = P.Shutdown };
+  ]
+
+let all_responses : P.response list =
+  [
+    { id = 1; result = Ok (Json.Obj [ ("pong", Json.Bool true) ]) };
+    { id = 2; result = Ok (Json.List [ Json.Int 1; Json.String "x" ]) };
+    { id = 3; result = Error "unknown algorithm zz" };
+  ]
+
+let test_protocol_roundtrip () =
+  List.iter
+    (fun env ->
+      let env' = P.request_of_json (P.request_to_json env) in
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d round-trips" env.P.id)
+        true (env = env'))
+    all_requests;
+  List.iter
+    (fun r ->
+      let r' = P.response_of_json (P.response_to_json r) in
+      Alcotest.(check bool)
+        (Printf.sprintf "response %d round-trips" r.P.id)
+        true (r = r'))
+    all_responses
+
+let test_protocol_rejects () =
+  let bad j =
+    match P.request_of_json j with
+    | exception P.Protocol_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing id" true
+    (bad (Json.Obj [ ("kind", Json.String "ping") ]));
+  Alcotest.(check bool) "unknown kind" true
+    (bad (Json.Obj [ ("id", Json.Int 1); ("kind", Json.String "frobnicate") ]));
+  Alcotest.(check bool) "non-object" true (bad (Json.List []));
+  Alcotest.(check bool) "ill-typed field" true
+    (bad
+       (Json.Obj
+          [
+            ("id", Json.Int 1);
+            ("kind", Json.String "lint");
+            ("algo", Json.Int 3);
+          ]))
+
+(* ----------------------------- framing ------------------------------ *)
+
+(* feed a byte string to a fresh decoder in chunks of [chunk] bytes and
+   collect every decoded frame *)
+let decode_chunked ?max_frame ~chunk s =
+  let dec = Json.Frame.decoder ?max_frame () in
+  let out = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let k = min chunk (n - !i) in
+    Json.Frame.feed dec (Bytes.of_string s) !i k;
+    (* feed takes (bytes, off, len) against the full buffer *)
+    i := !i + k;
+    let rec drain () =
+      match Json.Frame.next dec with
+      | Some v ->
+        out := v :: !out;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  (List.rev !out, dec)
+
+let test_frame_roundtrip_all_kinds () =
+  let msgs =
+    List.map P.request_to_json all_requests
+    @ List.map P.response_to_json all_responses
+  in
+  let wire = String.concat "" (List.map Json.Frame.encode msgs) in
+  List.iter
+    (fun chunk ->
+      let decoded, dec = decode_chunked ~chunk wire in
+      Alcotest.(check int)
+        (Printf.sprintf "all frames decode (chunk=%d)" chunk)
+        (List.length msgs) (List.length decoded);
+      Alcotest.(check int) "no leftover bytes" 0 (Json.Frame.pending dec);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "frame payload" (Json.to_string a)
+            (Json.to_string b))
+        msgs decoded)
+    [ 1; 3; 4096 ]
+
+let test_frame_truncated () =
+  let s = Json.Frame.encode (Json.Obj [ ("x", Json.Int 1) ]) in
+  for cut = 0 to String.length s - 1 do
+    let dec = Json.Frame.decoder () in
+    Json.Frame.feed_string dec (String.sub s 0 cut);
+    Alcotest.(check bool)
+      (Printf.sprintf "truncated at %d yields no frame" cut)
+      true
+      (Json.Frame.next dec = None)
+  done
+
+let test_frame_oversized () =
+  (* the header alone must trigger the limit, before any payload *)
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 1024l;
+  let dec = Json.Frame.decoder ~max_frame:512 () in
+  Json.Frame.feed dec hdr 0 4;
+  Alcotest.check_raises "oversized header rejected"
+    (Json.Frame.Error "frame length 1024 exceeds limit 512") (fun () ->
+      ignore (Json.Frame.next dec))
+
+let test_frame_malformed_payload () =
+  let payload = "this is not json" in
+  let b = Bytes.create (4 + String.length payload) in
+  Bytes.set_int32_be b 0 (Int32.of_int (String.length payload));
+  Bytes.blit_string payload 0 b 4 (String.length payload);
+  let dec = Json.Frame.decoder () in
+  Json.Frame.feed dec b 0 (Bytes.length b);
+  Alcotest.(check bool) "malformed payload raises" true
+    (match Json.Frame.next dec with
+    | exception Json.Frame.Error _ -> true
+    | _ -> false)
+
+let test_frame_random_bytes_no_crash =
+  QCheck.Test.make ~count:500 ~name:"frame decoder total on random bytes"
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun s ->
+      let dec = Json.Frame.decoder ~max_frame:64 () in
+      Json.Frame.feed_string dec s;
+      (* the decoder must either produce frames, want more bytes, or
+         raise Frame.Error — nothing else, and it must terminate *)
+      let rec drain n =
+        if n > String.length s + 1 then false
+        else
+          match Json.Frame.next dec with
+          | Some _ -> drain (n + 1)
+          | None -> true
+          | exception Json.Frame.Error _ -> true
+      in
+      drain 0)
+
+(* ------------------------------ mpmc -------------------------------- *)
+
+let test_mpmc_exactly_once () =
+  let q = Mpmc.create ~shards:4 () in
+  let n_producers = 4 and per = 500 in
+  let popped = Array.make (n_producers * per) 0 in
+  let producers =
+    List.init n_producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Mpmc.push q ((p * per) + i)
+            done))
+  in
+  let consumers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec go acc =
+              match Mpmc.pop q with
+              | Some v -> go (v :: acc)
+              | None -> acc
+            in
+            go []))
+  in
+  List.iter Domain.join producers;
+  Mpmc.close q;
+  let taken = List.concat_map Domain.join consumers in
+  List.iter (fun v -> popped.(v) <- popped.(v) + 1) taken;
+  Alcotest.(check int) "all items popped" (n_producers * per)
+    (List.length taken);
+  Array.iteri
+    (fun v c ->
+      if c <> 1 then
+        Alcotest.failf "item %d delivered %d times (want exactly once)" v c)
+    popped
+
+let test_mpmc_close_semantics () =
+  let q = Mpmc.create ~shards:2 () in
+  Mpmc.push q 1;
+  Mpmc.push q 2;
+  Mpmc.close q;
+  Alcotest.(check bool) "push after close raises" true
+    (match Mpmc.push q 3 with exception Mpmc.Closed -> true | _ -> false);
+  (* closed queues drain before returning None *)
+  let a = Mpmc.pop q and b = Mpmc.pop q in
+  Alcotest.(check bool) "drained both" true
+    (List.sort compare [ a; b ] = [ Some 1; Some 2 ]);
+  Alcotest.(check bool) "then None" true (Mpmc.pop q = None);
+  Alcotest.(check bool) "try_pop None" true (Mpmc.try_pop q = None)
+
+(* ---------------------------- micropool ----------------------------- *)
+
+let test_micropool_lazy_and_exact () =
+  let pool = Micropool.create ~name:"t" ~size:2 () in
+  Alcotest.(check bool) "not started before submit" false
+    (Micropool.started pool);
+  let hits = Atomic.make 0 in
+  for _ = 1 to 200 do
+    Micropool.submit pool (fun ~wid ->
+        assert (wid >= 0 && wid < 2);
+        Atomic.incr hits)
+  done;
+  Alcotest.(check bool) "started after submit" true (Micropool.started pool);
+  Micropool.shutdown pool;
+  Alcotest.(check int) "all jobs ran" 200 (Atomic.get hits);
+  Alcotest.(check int) "executed counter" 200 (Micropool.executed pool);
+  Alcotest.(check int) "no errors" 0 (Micropool.errors pool)
+
+let test_micropool_survives_errors () =
+  let pool = Micropool.create ~name:"t" ~size:1 () in
+  let ok = Atomic.make 0 in
+  Micropool.submit pool (fun ~wid:_ -> failwith "boom");
+  Micropool.submit pool (fun ~wid:_ -> Atomic.incr ok);
+  Micropool.shutdown pool;
+  Alcotest.(check int) "job after error still ran" 1 (Atomic.get ok);
+  Alcotest.(check int) "error counted" 1 (Micropool.errors pool)
+
+(* ------------------------------ cache ------------------------------- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~name:"t" ~cap:2 () in
+  let computes = ref 0 in
+  let get k =
+    Cache.find_or_compute c k (fun () ->
+        incr computes;
+        k * 10)
+  in
+  Alcotest.(check int) "a" 10 (get 1);
+  Alcotest.(check int) "b" 20 (get 2);
+  Alcotest.(check int) "a cached" 10 (get 1);
+  Alcotest.(check int) "computes" 2 !computes;
+  (* inserting a third evicts the LRU entry, which is 2 *)
+  ignore (get 3);
+  Alcotest.(check bool) "2 evicted" true (Cache.find_opt c 2 = None);
+  Alcotest.(check bool) "1 kept" true (Cache.find_opt c 1 = Some 10);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 3 (Cache.misses c);
+  Alcotest.(check int) "evictions" 1 (Cache.evictions c)
+
+(* ---------------------- decompose thread-safety --------------------- *)
+
+let test_decompose_hammer () =
+  let w = Nd_algos.Matmul.workload ~n:32 ~base:4 ~seed:3 () in
+  let p = Nd_algos.Workload.compile w in
+  let ms = [ 1; 4; 16; 64; 256; 1024 ] in
+  (* hammer the shared memo from several domains at once; single-flight
+     memoization must hand every caller the same physical record *)
+  let results =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            List.init 50 (fun _ ->
+                List.map (fun m -> (m, Nd.Program.decompose p ~m)) ms)))
+    |> List.concat_map Domain.join
+    |> List.concat
+  in
+  List.iter
+    (fun (m, d) ->
+      let canonical = Nd.Program.decompose p ~m in
+      if not (d == canonical) then
+        Alcotest.failf "decompose m=%d returned a non-memoized copy" m;
+      Alcotest.(check int) "m recorded" m d.Nd.Program.m)
+    results;
+  (* sanity: every decomposition covers all leaves *)
+  List.iter
+    (fun m ->
+      let d = Nd.Program.decompose p ~m in
+      Alcotest.(check bool)
+        (Printf.sprintf "m=%d has tasks" m)
+        true
+        (Array.length d.Nd.Program.tasks > 0))
+    ms
+
+(* --------------------------- end-to-end ----------------------------- *)
+
+let sock_path =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ndsim-test-%d.sock" (Unix.getpid ()))
+
+let wait_for_socket path =
+  let rec go n =
+    if n = 0 then Alcotest.fail "server socket never appeared";
+    if not (Sys.file_exists path) then begin
+      Unix.sleepf 0.05;
+      go (n - 1)
+    end
+  in
+  go 200
+
+let member_exn name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name (Json.to_string j)
+
+let test_server_end_to_end () =
+  let cfg =
+    {
+      (Server.default_config (P.Unix_path sock_path)) with
+      Server.pool_sizes = [ ("analyze", 1); ("simulate", 1); ("fuzz", 1) ];
+      quiet = true;
+    }
+  in
+  let server = Thread.create (fun () -> Server.run cfg) () in
+  wait_for_socket sock_path;
+  let conn = Client.connect (P.Unix_path sock_path) in
+  (* ping *)
+  let pong = Client.call_exn conn P.Ping in
+  Alcotest.(check bool) "pong" true (member_exn "pong" pong = Json.Bool true);
+  (* lint a clean workload, twice: the second hit must come from cache *)
+  let lint1 = Client.call_exn conn (P.Lint wk) in
+  Alcotest.(check bool) "lint clean" true
+    (member_exn "errors" lint1 = Json.Int 0);
+  let lint2 = Client.call_exn conn (P.Lint wk) in
+  Alcotest.(check string) "lint deterministic" (Json.to_string lint1)
+    (Json.to_string lint2);
+  (* race verdict *)
+  let race = Client.call_exn conn (P.Race wk) in
+  Alcotest.(check bool) "race-free" true
+    (member_exn "race_free" race = Json.Bool true);
+  (* SB simulation *)
+  let sim = Client.call_exn conn (P.Simulate { wk; top = 1; fine = false }) in
+  (match member_exn "time" sim with
+  | Json.Int t when t > 0 -> ()
+  | j -> Alcotest.failf "bad simulate time: %s" (Json.to_string j));
+  (* errors come back as error responses, not dead connections *)
+  (match
+     (Client.call conn (P.Lint { wk with algo = "nope" })).P.result
+   with
+  | Error msg ->
+    Alcotest.(check bool) "unknown algo mentions name" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "lint of unknown algorithm succeeded");
+  (* stats: lint cache must show at least one hit, histograms nonzero *)
+  let stats = Client.call_exn conn P.Stats in
+  let lint_cache =
+    Json.to_list (member_exn "caches" stats)
+    |> List.find (fun c -> member_exn "name" c = Json.String "lint")
+  in
+  (match member_exn "hits" lint_cache with
+  | Json.Int h when h >= 1 -> ()
+  | j -> Alcotest.failf "lint cache hits: %s" (Json.to_string j));
+  (match member_exn "lint" (member_exn "latency_ns" stats) with
+  | j -> (
+    match member_exn "count" j with
+    | Json.Int c when c >= 2 -> ()
+    | k -> Alcotest.failf "lint latency count: %s" (Json.to_string k)));
+  (* pipelined burst: ids must all come back *)
+  let ids = List.init 20 (fun _ -> Client.send conn P.Ping) in
+  let got = List.init 20 (fun _ -> (Client.recv conn).P.id) in
+  Alcotest.(check bool) "pipelined ids all answered" true
+    (List.sort compare ids = List.sort compare got);
+  (* shutdown: acknowledged, then the daemon exits and cleans up *)
+  let bye = Client.call_exn conn P.Shutdown in
+  Alcotest.(check bool) "stopping" true
+    (member_exn "stopping" bye = Json.Bool true);
+  Client.close conn;
+  Thread.join server;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock_path)
+
+let () =
+  Alcotest.run "nd_serve"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "exact small values" `Quick test_hist_exact_small;
+          Alcotest.test_case "log-bucket bound" `Quick
+            test_hist_log_bucket_bound;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "round-trip all kinds" `Quick
+            test_protocol_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_protocol_rejects;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "round-trip chunked" `Quick
+            test_frame_roundtrip_all_kinds;
+          Alcotest.test_case "truncated" `Quick test_frame_truncated;
+          Alcotest.test_case "oversized" `Quick test_frame_oversized;
+          Alcotest.test_case "malformed payload" `Quick
+            test_frame_malformed_payload;
+          QCheck_alcotest.to_alcotest test_frame_random_bytes_no_crash;
+        ] );
+      ( "mpmc",
+        [
+          Alcotest.test_case "exactly-once across domains" `Quick
+            test_mpmc_exactly_once;
+          Alcotest.test_case "close semantics" `Quick test_mpmc_close_semantics;
+        ] );
+      ( "micropool",
+        [
+          Alcotest.test_case "lazy start, exact execution" `Quick
+            test_micropool_lazy_and_exact;
+          Alcotest.test_case "survives job errors" `Quick
+            test_micropool_survives_errors;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "keyed lru" `Quick test_cache_lru ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "multi-domain hammer" `Quick test_decompose_hammer;
+        ] );
+      ( "server",
+        [ Alcotest.test_case "end-to-end" `Quick test_server_end_to_end ] );
+    ]
