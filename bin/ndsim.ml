@@ -243,6 +243,46 @@ let sb_cmd =
     Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg $ top_arg
           $ fine_arg $ trace_out_arg)
 
+(* ------------------------------ sched ------------------------------ *)
+
+let sched_cmd =
+  let top_arg =
+    Arg.(value & opt int 1 & info [ "top" ] ~docv:"K" ~doc:"Top-level cache count (procs = 16K).")
+  in
+  let scheduler_arg =
+    let doc =
+      Printf.sprintf "Scheduler: one of %s."
+        (String.concat ", " Nd_sched.Zoo.names)
+    in
+    Arg.(value & opt string "sb" & info [ "scheduler"; "s" ] ~docv:"NAME" ~doc)
+  in
+  let comm_arg =
+    Arg.(value & opt int 0
+         & info [ "comm-delay" ] ~docv:"D"
+             ~doc:"Extra time units charged when a vertex is dispatched on a \
+                   processor that executed none of its predecessors (honoured \
+                   by the pdf and tree dispatch loops).")
+  in
+  let run algo n base seed np scheduler top comm_delay =
+    match Nd_sched.Zoo.find scheduler with
+    | None ->
+      die_usage "unknown scheduler %s; expected one of %s" scheduler
+        (String.concat ", " Nd_sched.Zoo.names)
+    | Some (module S : Nd_sched.Scheduler.S) ->
+      let w = build_workload algo n base seed in
+      let p = Workload.compile ~mode:(mode_of np) w in
+      let machine = sim_machine top in
+      Format.printf "machine: %s@." (Pmh.describe machine);
+      let s = S.run ~seed ~comm_delay p machine in
+      Format.printf "%s: %a@." S.name Nd_sched.Scheduler.pp_stats s
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:"Simulate any scheduler-zoo member on a PMH (the E10 comparison, \
+             one scheduler at a time).")
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg
+          $ scheduler_arg $ top_arg $ comm_arg)
+
 (* ------------------------------ check ------------------------------ *)
 
 let check_cmd =
@@ -414,7 +454,7 @@ let trace_cmd =
 let experiments_cmd =
   let which =
     Arg.(value & pos 0 (some string) None
-         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e9); all when omitted.")
+         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e10); all when omitted.")
   in
   let run which =
     match which with
@@ -432,7 +472,7 @@ let experiments_cmd =
 let suite_cmd =
   let which =
     Arg.(value & pos 0 (some string) None
-         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e9); all when omitted.")
+         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e10); all when omitted.")
   in
   let json_arg =
     Arg.(value & opt (some string) None
@@ -772,9 +812,9 @@ let () =
   let code =
     Cmd.eval
       (Cmd.group info
-         [ span_cmd; race_cmd; lint_cmd; sb_cmd; check_cmd; drs_cmd;
-           trace_cmd; experiments_cmd; suite_cmd; fuzz_cmd; serve_cmd;
-           loadgen_cmd ])
+         [ span_cmd; race_cmd; lint_cmd; sb_cmd; sched_cmd; check_cmd;
+           drs_cmd; trace_cmd; experiments_cmd; suite_cmd; fuzz_cmd;
+           serve_cmd; loadgen_cmd ])
   in
   (* cmdliner reports CLI misuse — unknown subcommand, bad flag — as
      its [cli_error] code (124) after printing usage on stderr; fold it

@@ -139,6 +139,32 @@ let check_sb cfg program ~work ~span =
     cfg.sb_modes;
   !paths
 
+(* every zoo member behind the shared interface: one run each on the
+   oracle machine, against the invariants the interface promises —
+   conserved work, correct span, busy covering the work (nothing lost),
+   makespan at or above the greedy lower bound (which also implies no
+   deadlock: a stalled scheduler raises and is caught by [guard]) *)
+let check_zoo cfg program ~work ~span =
+  let p = Pmh.n_procs cfg.machine in
+  List.iter
+    (fun (name, (module S : Nd_sched.Scheduler.S)) ->
+      let stage = Printf.sprintf "zoo %s" name in
+      let s = guard stage (fun () -> S.run ~seed:1 program cfg.machine) in
+      let open Nd_sched.Scheduler in
+      if s.work <> work then fail stage "reported work %d <> %d" s.work work;
+      if s.span <> span then fail stage "reported span %d <> %d" s.span span;
+      if s.busy < work then
+        fail stage "busy %d < work %d (lost busy time)" s.busy work;
+      if s.time < lb ~work ~span p then
+        fail stage "time %d below lower bound %d" s.time (lb ~work ~span p);
+      if s.space_hwm < 0 then fail stage "negative space hwm %d" s.space_hwm;
+      Array.iteri
+        (fun j m ->
+          if m < 0 then fail stage "negative level-%d misses %d" (j + 1) m)
+        s.misses)
+    Nd_sched.Zoo.all;
+  List.length Nd_sched.Zoo.all
+
 let check_ws cfg program ~work ~span =
   List.iter
     (fun seed ->
@@ -233,6 +259,7 @@ let run_oracle cfg program ~tree_work ~races_fail ~reset ~reference ~verify =
       + check_greedy cfg program ~work ~span
       + check_sb cfg program ~work ~span
       + check_ws cfg program ~work ~span
+      + check_zoo cfg program ~work ~span
       + check_executing cfg program ~reset ~verify
     in
     Ok

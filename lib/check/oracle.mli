@@ -4,10 +4,11 @@
     ({!Nd_algos.Workload.t}) is compiled once and pushed through every
     execution path the repo has — the serial reference, randomized
     topological orders, the greedy simulator, the space-bounded
-    simulator, the work-stealing simulator, and the real multicore
-    dataflow and fork–join executors — and the oracle checks that they
-    all agree with the serial elision and with the model's structural
-    laws:
+    simulator, the work-stealing simulator, every scheduler-zoo member
+    behind {!Nd_sched.Scheduler.S} (greedy, sb, ws, pdf, tree), and the
+    real multicore dataflow and fork–join executors — and the oracle
+    checks that they all agree with the serial elision and with the
+    model's structural laws:
 
     - {b exactly-once}: every strand action runs exactly once on every
       executing path;
@@ -24,7 +25,9 @@
       tasks, never split them);
     - {b liveness}: the SB scheduler never raises [Deadlock] on a
       well-formed program (maximal tasks are disjoint, so coarse-mode
-      contraction is acyclic).
+      contraction is acyclic), and no zoo member stalls (each raises on
+      an unfinished DAG; the tree scheduler's forced admission makes
+      its budget discipline deadlock-free by construction).
 
     A failure pinpoints the first stage that disagreed; with the
     generator's seed it is replayable via [ndsim fuzz --replay]. *)

@@ -410,6 +410,40 @@ let e9_runtime () =
     ];
   t
 
+(* ------------------------------ E10 -------------------------------- *)
+
+let e10_zoo () =
+  let t =
+    Table.create
+      ~title:
+        "E10: scheduler zoo — greedy / sb / ws / pdf / tree, every family at \
+         paper scale (shared per-cache LRU miss model)"
+      ([ "algo"; "sched" ] @ Nd_sched.Scheduler.row_header)
+  in
+  let machine = sim_machine ~top_caches:1 in
+  List.iter
+    (fun (name, n, base) ->
+      let fam = Workloads.find name in
+      let w = Workloads.build ~n ~base fam ~seed in
+      let p = Workload.compile w in
+      List.iter
+        (fun (sname, (module S : Nd_sched.Scheduler.S)) ->
+          let s = S.run ~seed p machine in
+          Table.add_row t
+            (Printf.sprintf "%s n=%d" name n
+            :: sname
+            :: Nd_sched.Scheduler.to_row s))
+        Nd_sched.Zoo.all)
+    (* every workload family; paper scale is n=512 for the quadratic-work
+       algorithms and n=64 for the cubic ones, with the same coarsened
+       leaf blocks as E2-E6 to keep the spawn trees tractable *)
+    [
+      ("mm", 512, 32); ("mm8", 64, 4); ("trs", 64, 4); ("cholesky", 64, 4);
+      ("lu", 64, 4); ("apsp", 64, 4); ("fw1d", 512, 4); ("stencil", 512, 4);
+      ("gotoh", 512, 4); ("lcs", 512, 4);
+    ];
+  t
+
 (* ---------------------------- overview ----------------------------- *)
 
 let overview () =
@@ -448,6 +482,7 @@ let all =
     ("e7", e7_ablation);
     ("e8", e8_rules);
     ("e9", e9_runtime);
+    ("e10", e10_zoo);
   ]
 
 (* ---------------------------- drivers ------------------------------ *)

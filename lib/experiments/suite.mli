@@ -18,6 +18,10 @@
       rule sets vs the corrected ones (DESIGN.md corrections).
     - E9 — real multicore wall-clock: serial vs ND dataflow vs NP
       fork-join executors.
+    - E10 — scheduler zoo: greedy, sb, ws, pdf and tree behind the
+      shared {!Nd_sched.Scheduler.S} face, compared on makespan,
+      per-level misses and space high-water mark for every workload
+      family at paper scale (recorded as BENCH_6.json in CI).
 
     Each experiment function {e builds} and returns its table without
     printing; the drivers below print in suite order.  Experiments are
@@ -44,12 +48,14 @@ val e8_rules : unit -> Nd_util.Table.t
 
 val e9_runtime : unit -> Nd_util.Table.t
 
+val e10_zoo : unit -> Nd_util.Table.t
+
 (** [overview ()] — per-algorithm inventory (work, spans, DAG sizes) at
     the default sizes. *)
 val overview : unit -> Nd_util.Table.t
 
 (** The experiments by name, in harness order
-    (["overview"; "e1" ... "e9"]). *)
+    (["overview"; "e1" ... "e10"]). *)
 val all : (string * (unit -> Nd_util.Table.t)) list
 
 (** Per-experiment wall-clock, measured with the monotonic clock. *)
@@ -73,7 +79,7 @@ val build_all :
     in suite order followed by the timings table. *)
 val run_all : ?workers:int -> ?tracer:Nd_trace.Collector.t -> unit -> unit
 
-(** [run name] — run and print one of ["overview"; "e1"..."e9"].
+(** [run name] — run and print one of ["overview"; "e1"..."e10"].
     @raise Not_found on an unknown name. *)
 val run : string -> unit
 

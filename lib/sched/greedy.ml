@@ -1,11 +1,17 @@
 module Dag = Nd_dag.Dag
+module Is = Nd_util.Interval_set
 module Heap = Nd_util.Heap
 open Nd
 
-type stats = { time : int; work : int; span : int; n_procs : int }
+type stats = {
+  time : int;
+  work : int;
+  span : int;
+  space_hwm : int;
+  n_procs : int;
+}
 
-let brent_bound s =
-  ((s.work + s.n_procs - 1) / s.n_procs) + s.span
+let brent_bound s = ((s.work + s.n_procs - 1) / s.n_procs) + s.span
 
 let run ~procs program =
   if procs < 1 then invalid_arg "Greedy.run: procs < 1";
@@ -25,10 +31,17 @@ let run ~procs program =
   let now = ref 0 in
   let makespan = ref 0 in
   let executed = ref 0 in
+  (* live space = sum of running strands' footprints (an upper bound:
+     overlap between concurrent strands is counted once per strand) *)
+  let resident = ref 0 in
+  let space_hwm = ref 0 in
+  let fp_words v = Is.cardinal (Dag.footprint_of dag v) in
   let dispatch () =
     while !free_procs > 0 && not (Queue.is_empty ready) do
       let v = Queue.pop ready in
       decr free_procs;
+      resident := !resident + fp_words v;
+      if !resident > !space_hwm then space_hwm := !resident;
       Heap.push events (!now + Dag.work_of dag v) v
     done
   in
@@ -39,6 +52,7 @@ let run ~procs program =
     if t > !makespan then makespan := t;
     incr free_procs;
     incr executed;
+    resident := !resident - fp_words v;
     List.iter
       (fun w ->
         indeg.(w) <- indeg.(w) - 1;
@@ -47,4 +61,29 @@ let run ~procs program =
     dispatch ()
   done;
   if !executed < nv then failwith "Greedy.run: stalled (cyclic DAG?)";
-  { time = !makespan; work = Dag.work dag; span = Dag.span dag; n_procs = procs }
+  {
+    time = !makespan;
+    work = Dag.work dag;
+    span = Dag.span dag;
+    space_hwm = !space_hwm;
+    n_procs = procs;
+  }
+
+module Shared : Scheduler.S = struct
+  let name = "greedy"
+
+  (* cache-blind and deterministic: both knobs are no-ops.  busy = work
+     (a greedy processor only ever executes strand work). *)
+  let run ?seed:_ ?comm_delay:_ program machine =
+    let s = run ~procs:(Nd_pmh.Pmh.n_procs machine) program in
+    {
+      Scheduler.time = s.time;
+      work = s.work;
+      span = s.span;
+      misses = [||];
+      miss_cost = 0;
+      space_hwm = s.space_hwm;
+      busy = s.work;
+      n_procs = s.n_procs;
+    }
+end

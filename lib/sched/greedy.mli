@@ -3,9 +3,20 @@
     sanity bound the tests verify, and a cache-blind lower envelope for
     the scheduling experiments. *)
 
-type stats = { time : int; work : int; span : int; n_procs : int }
+type stats = {
+  time : int;
+  work : int;
+  span : int;
+  space_hwm : int;
+      (** peak sum of footprints of concurrently running strands *)
+  n_procs : int;
+}
 
 val run : procs:int -> Nd.Program.t -> stats
 
 (** [brent_bound s] = W/p + T_inf (ceiling division). *)
 val brent_bound : stats -> int
+
+(** Zoo face; [procs] comes from the machine, both common knobs are
+    no-ops (cache-blind and deterministic), [misses = [||]]. *)
+module Shared : Scheduler.S

@@ -13,6 +13,7 @@ type stats = {
   work : int;
   misses : int array;
   miss_cost : int;
+  space_hwm : int;
   busy : int;
   n_anchors : int;
   n_procs : int;
@@ -41,8 +42,9 @@ let pp_stats ppf s =
     if s.time = 0 || s.n_procs = 0 then "n/a"
     else Printf.sprintf "%.3f" (utilization s)
   in
-  Format.fprintf ppf "time=%d work=%d miss_cost=%d util=%s anchors=%d misses=[%s]"
-    s.time s.work s.miss_cost util s.n_anchors
+  Format.fprintf ppf
+    "time=%d work=%d miss_cost=%d space_hwm=%d util=%s anchors=%d misses=[%s]"
+    s.time s.work s.miss_cost s.space_hwm util s.n_anchors
     (String.concat ";" (Array.to_list (Array.map string_of_int s.misses)))
 
 let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
@@ -229,6 +231,14 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
                          else Array.make n_tasks.(j - 2) None)
   in
   let n_anchors = ref 0 in
+  (* live space = anchored task sizes (the quantity the boundedness
+     invariant caps per cache) plus the sizes of running atoms *)
+  let live_space = ref 0 in
+  let space_hwm = ref 0 in
+  let charge_space s =
+    live_space := !live_space + s;
+    if !live_space > !space_hwm then space_hwm := !live_space
+  in
 
   (* ---- miss accounting ---- *)
   let visited : (int * int, Is.t ref) Hashtbl.t = Hashtbl.create 1024 in
@@ -352,6 +362,7 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
   let release_anchor a =
     free_space.(a.a_level - 1).(a.a_cache) <-
       free_space.(a.a_level - 1).(a.a_cache) + task_size a.a_level a.a_task;
+    live_space := !live_space - task_size a.a_level a.a_task;
     List.iter (fun c -> owner.(a.a_level - 2).(c) <- None) a.a_subclusters;
     if traced then
       emit
@@ -453,6 +464,7 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
           }
         in
         free_space.(l - 1).(cache) <- free_space.(l - 1).(cache) - size;
+        charge_space size;
         List.iter (fun c -> owner.(l - 2).(c) <- Some a) subclusters;
         anchor_at.(l).(ti') <- Some a;
         incr n_anchors;
@@ -558,6 +570,7 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
     if running.(p) >= 0 then begin
       let a = running.(p) in
       running.(p) <- (-1);
+      live_space := !live_space - task_size 1 a;
       if traced then
         emit (Nd_trace.Event.Strand_end { vertex = task_node 1 a });
       complete_atom a
@@ -596,6 +609,7 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
           done
         end;
         running.(p) <- a1;
+        charge_space (task_size 1 a1);
         busy := !busy + d;
         Heap.push events (t + d) p
       | None -> idle.(p) <- true
@@ -609,7 +623,31 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
     work = Dag.work dag;
     misses;
     miss_cost = !total_miss_cost;
+    space_hwm = !space_hwm;
     busy = !busy;
     n_anchors = !n_anchors;
     n_procs;
   }
+
+module Shared : Scheduler.S = struct
+  let name = "sb"
+
+  (* the comparison defaults: the paper's scheduler (sigma = 1/3,
+     coarse readiness) under Lru accounting, so misses are measured by
+     the same inclusive per-cache LRU model as the ws/pdf/tree peers
+     (the paper's rho accounting stays the subject of E3/E6).
+     Deterministic; anchoring already confines migration, so the
+     comm-delay knob is a no-op. *)
+  let run ?seed:_ ?comm_delay:_ program machine =
+    let s = run ~accounting:Lru program machine in
+    {
+      Scheduler.time = s.time;
+      work = s.work;
+      span = Dag.span (Program.dag program);
+      misses = s.misses;
+      miss_cost = s.miss_cost;
+      space_hwm = s.space_hwm;
+      busy = s.busy;
+      n_procs = s.n_procs;
+    }
+end

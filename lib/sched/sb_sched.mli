@@ -40,6 +40,9 @@ type stats = {
   work : int;  (** total strand work *)
   misses : int array;  (** index j-1 = misses at cache level j *)
   miss_cost : int;  (** total miss cost summed over levels *)
+  space_hwm : int;
+      (** peak of (total anchored task size + sizes of running atoms) —
+          the quantity the per-cache boundedness invariant caps *)
   busy : int;  (** total processor busy time *)
   n_anchors : int;  (** anchors created above level 1 *)
   n_procs : int;
@@ -77,3 +80,10 @@ val utilization : stats -> float
 (** Prints the stats on one line; utilization shows as [n/a] for
     zero-time or zero-processor runs. *)
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Zoo face: the paper's scheduler at its defaults (sigma = 1/3,
+    [Coarse] readiness) under [Lru] accounting so misses are measured
+    by the same per-cache LRU model as the other zoo members.  Both
+    common knobs are no-ops (deterministic; anchoring is its own
+    communication model). *)
+module Shared : Scheduler.S

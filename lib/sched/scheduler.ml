@@ -1,0 +1,46 @@
+type stats = {
+  time : int;
+  work : int;
+  span : int;
+  misses : int array;
+  miss_cost : int;
+  space_hwm : int;
+  busy : int;
+  n_procs : int;
+}
+
+module type S = sig
+  val name : string
+
+  val run :
+    ?seed:int -> ?comm_delay:int -> Nd.Program.t -> Nd_pmh.Pmh.t -> stats
+end
+
+let utilization s =
+  if s.time = 0 || s.n_procs = 0 then 0.
+  else float_of_int s.busy /. (float_of_int s.time *. float_of_int s.n_procs)
+
+let misses_string s =
+  if Array.length s.misses = 0 then "-"
+  else String.concat ";" (Array.to_list (Array.map string_of_int s.misses))
+
+let pp_stats ppf s =
+  let util =
+    if s.time = 0 || s.n_procs = 0 then "n/a"
+    else Printf.sprintf "%.3f" (utilization s)
+  in
+  Format.fprintf ppf
+    "time=%d work=%d span=%d miss_cost=%d space_hwm=%d util=%s misses=[%s]"
+    s.time s.work s.span s.miss_cost s.space_hwm util (misses_string s)
+
+let row_header = [ "time"; "work"; "miss cost"; "misses"; "space hwm"; "util" ]
+
+let to_row s =
+  [
+    string_of_int s.time;
+    string_of_int s.work;
+    string_of_int s.miss_cost;
+    misses_string s;
+    string_of_int s.space_hwm;
+    Printf.sprintf "%.3f" (utilization s);
+  ]

@@ -1,0 +1,34 @@
+(** Memory-bounded tree scheduler (Marchal–Sinnen–Vivien style).
+
+    The spawn tree {e is} the task tree of the memory-bounded tree
+    scheduling literature, with s(n) — the statically-allocated task
+    size — as the footprint a subtree occupies while live.  The
+    scheduler splits the tree into M-maximal tasks at a quarter of a
+    memory budget (default: the outermost cache), orders them by the
+    peak-minimizing serial traversal (children of Par/Fire nodes in
+    descending [peak - size], Liu's rule; Seq children in dependency
+    order), and then list-schedules the DAG with the twist that a
+    task's vertices are dispatchable only while the task is {e
+    admitted}: tasks enter in traversal order when their size fits
+    under the budget alongside the already-admitted ones, so the total
+    live task footprint never exceeds the budget — except when the
+    machine would otherwise stall, in which case the front task is
+    force-admitted (the usual progress escape of the makespan/memory
+    trade-off heuristics).
+
+    Misses are charged on the same inclusive per-cache LRU hierarchy
+    as {!Work_steal}/{!Pdf_sched}; [comm_delay] as in {!Pdf_sched}.
+    Deterministic: [seed] is a no-op.  [space_hwm] reports the peak
+    admitted-task footprint — the quantity the budget caps. *)
+
+(** [run ?seed ?comm_delay ?budget program machine] — [budget] defaults
+    to the size of the machine's outermost cache level. *)
+val run :
+  ?seed:int ->
+  ?comm_delay:int ->
+  ?budget:int ->
+  Nd.Program.t ->
+  Nd_pmh.Pmh.t ->
+  Scheduler.stats
+
+module Shared : Scheduler.S

@@ -5,11 +5,14 @@ module Pmh = Nd_pmh.Pmh
 module Cache = Nd_mem.Cache_sim
 open Nd
 
+module Is = Nd_util.Interval_set
+
 type stats = {
   time : int;
   work : int;
   misses : int array;
   miss_cost : int;
+  space_hwm : int;
   steals : int;
   busy : int;
   n_procs : int;
@@ -25,8 +28,9 @@ let pp_stats ppf s =
     if s.time = 0 || s.n_procs = 0 then "n/a"
     else Printf.sprintf "%.3f" (utilization s)
   in
-  Format.fprintf ppf "time=%d work=%d miss_cost=%d util=%s steals=%d misses=[%s]"
-    s.time s.work s.miss_cost util s.steals
+  Format.fprintf ppf
+    "time=%d work=%d miss_cost=%d space_hwm=%d util=%s steals=%d misses=[%s]"
+    s.time s.work s.miss_cost s.space_hwm util s.steals
     (String.concat ";" (Array.to_list (Array.map string_of_int s.misses)))
 
 (* simple growable int deque *)
@@ -123,6 +127,10 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2)
   let busy = ref 0 in
   let steals = ref 0 in
   let makespan = ref 0 in
+  (* live space = sum of running strands' footprints *)
+  let resident = ref 0 in
+  let space_hwm = ref 0 in
+  let fp_words v = Is.cardinal (Dag.footprint_of dag v) in
   let complete p v =
     List.iter
       (fun w ->
@@ -147,6 +155,7 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2)
       let v = running.(p) in
       running.(p) <- (-1);
       incr executed;
+      resident := !resident - fp_words v;
       if traced then
         Nd_trace.Collector.emit tracer ~worker:p ~ts:t
           (Nd_trace.Event.Strand_end { vertex = v });
@@ -197,6 +206,8 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2)
           done
         end;
         running.(p) <- v;
+        resident := !resident + fp_words v;
+        if !resident > !space_hwm then space_hwm := !resident;
         busy := !busy + d;
         Heap.push events (t + d) p
       | None -> idle.(p) <- true
@@ -208,7 +219,27 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2)
     work = Dag.work dag;
     misses;
     miss_cost = !total_miss_cost;
+    space_hwm = !space_hwm;
     steals = !steals;
     busy = !busy;
     n_procs;
   }
+
+module Shared : Scheduler.S = struct
+  let name = "ws"
+
+  (* comm_delay is a no-op: work stealing already pays [steal_cost] on
+     every migration, which is its communication-delay model *)
+  let run ?(seed = 0x5eed) ?comm_delay:_ program machine =
+    let s = run ~seed program machine in
+    {
+      Scheduler.time = s.time;
+      work = s.work;
+      span = Dag.span (Nd.Program.dag program);
+      misses = s.misses;
+      miss_cost = s.miss_cost;
+      space_hwm = s.space_hwm;
+      busy = s.busy;
+      n_procs = s.n_procs;
+    }
+end

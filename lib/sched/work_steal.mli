@@ -15,6 +15,8 @@ type stats = {
   work : int;
   misses : int array;  (** per cache level *)
   miss_cost : int;
+  space_hwm : int;
+      (** peak sum of footprints of concurrently running strands *)
   steals : int;
   busy : int;
   n_procs : int;
@@ -33,3 +35,7 @@ val run :
 val utilization : stats -> float
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Zoo face; default steal cost, [comm_delay] is a no-op (the steal
+    cost already models migration latency). *)
+module Shared : Scheduler.S

@@ -1,0 +1,12 @@
+let all : (string * (module Scheduler.S)) list =
+  [
+    ("greedy", (module Greedy.Shared));
+    ("sb", (module Sb_sched.Shared));
+    ("ws", (module Work_steal.Shared));
+    ("pdf", (module Pdf_sched.Shared));
+    ("tree", (module Tree_sched.Shared));
+  ]
+
+let find name = List.assoc_opt name all
+
+let names = List.map fst all

@@ -1,0 +1,11 @@
+(** The scheduler zoo: every simulated scheduler behind its
+    {!Scheduler.S} face, keyed by the name the CLI and the E10 suite
+    experiment use.  Order is the comparison order of the E10 table:
+    greedy (cache-blind envelope), sb (the paper's scheduler), ws (its
+    baseline), pdf, tree (the related-work peers). *)
+
+val all : (string * (module Scheduler.S)) list
+
+val find : string -> (module Scheduler.S) option
+
+val names : string list

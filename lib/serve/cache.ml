@@ -2,11 +2,18 @@ module Json = Nd_util.Json
 
 type 'v entry = { value : 'v; mutable stamp : int }
 
+(* a key's slot is either a cached value or a single-flight marker: the
+   first misser installs [Pending] and computes outside the lock; racers
+   on the same key wait on [cond] instead of recomputing *)
+type 'v slot = Ready of 'v entry | Pending
+
 type ('k, 'v) t = {
   name : string;
   cap : int;
-  tbl : ('k, 'v entry) Hashtbl.t;
+  tbl : ('k, 'v slot) Hashtbl.t;
   lock : Mutex.t;
+  cond : Condition.t;
+  mutable n_ready : int;  (* Ready slots in [tbl]; capacity counts these *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -20,6 +27,8 @@ let create ~name ~cap () =
     cap;
     tbl = Hashtbl.create (min 64 (2 * cap));
     lock = Mutex.create ();
+    cond = Condition.create ();
+    n_ready = 0;
     tick = 0;
     hits = 0;
     misses = 0;
@@ -34,41 +43,77 @@ let touch t e =
 
 let evict_lru t =
   (* caps are tens of entries: an O(size) scan on the eviction path is
-     cheaper than maintaining an intrusive list *)
+     cheaper than maintaining an intrusive list.  Pending slots are not
+     evictable — they hold no value and their computer expects to find
+     them on completion. *)
   let victim = ref None in
   Hashtbl.iter
-    (fun k e ->
-      match !victim with
-      | Some (_, s) when s <= e.stamp -> ()
-      | _ -> victim := Some (k, e.stamp))
+    (fun k s ->
+      match s with
+      | Pending -> ()
+      | Ready e -> (
+        match !victim with
+        | Some (_, st) when st <= e.stamp -> ()
+        | _ -> victim := Some (k, e.stamp)))
     t.tbl;
   match !victim with
   | Some (k, _) ->
     Hashtbl.remove t.tbl k;
+    t.n_ready <- t.n_ready - 1;
     t.evictions <- t.evictions + 1
   | None -> ()
 
 let find_or_compute t k f =
-  Mutex.protect t.lock (fun () ->
-      match Hashtbl.find_opt t.tbl k with
-      | Some e ->
-        t.hits <- t.hits + 1;
-        touch t e;
-        e.value
-      | None ->
-        t.misses <- t.misses + 1;
-        let value = f () in
-        if Hashtbl.length t.tbl >= t.cap then evict_lru t;
-        let e = { value; stamp = 0 } in
-        touch t e;
-        Hashtbl.add t.tbl k e;
-        value)
+  let action =
+    Mutex.protect t.lock (fun () ->
+        let rec classify () =
+          match Hashtbl.find_opt t.tbl k with
+          | Some (Ready e) ->
+            t.hits <- t.hits + 1;
+            touch t e;
+            `Hit e.value
+          | Some Pending ->
+            (* someone is computing this key: wait; on wake the slot is
+               Ready (count as a hit), or gone because the compute raised
+               (reclassify and become the new computer) *)
+            Condition.wait t.cond t.lock;
+            classify ()
+          | None ->
+            t.misses <- t.misses + 1;
+            Hashtbl.replace t.tbl k Pending;
+            `Compute
+        in
+        classify ())
+  in
+  match action with
+  | `Hit v -> v
+  | `Compute -> (
+    (* the expensive part runs outside the cache lock: misses on
+       distinct keys overlap, and only same-key callers block *)
+    match f () with
+    | value ->
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.remove t.tbl k;
+          if t.n_ready >= t.cap then evict_lru t;
+          let e = { value; stamp = 0 } in
+          touch t e;
+          Hashtbl.add t.tbl k (Ready e);
+          t.n_ready <- t.n_ready + 1;
+          Condition.broadcast t.cond);
+      value
+    | exception exn ->
+      Mutex.protect t.lock (fun () ->
+          Hashtbl.remove t.tbl k;
+          Condition.broadcast t.cond);
+      raise exn)
 
 let find_opt t k =
   Mutex.protect t.lock (fun () ->
-      Option.map (fun e -> e.value) (Hashtbl.find_opt t.tbl k))
+      match Hashtbl.find_opt t.tbl k with
+      | Some (Ready e) -> Some e.value
+      | Some Pending | None -> None)
 
-let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+let length t = Mutex.protect t.lock (fun () -> t.n_ready)
 
 let hits t = t.hits
 

@@ -1,16 +1,18 @@
 (** Keyed LRU caches over the server's hot artifacts.
 
-    Mutex-guarded, with the compute function run {e inside} the lock:
-    a given key is computed exactly once however many pool workers
-    race on it (single-flight), at the cost of serializing concurrent
-    misses of one cache — the right trade for artifacts that are
-    expensive to build and cheap to look up (compiled programs, race
-    verdicts, experiment tables).  Distinct caches have distinct
-    locks, so e.g. a long suite build never blocks the lint cache.
+    Mutex-guarded bookkeeping with {e per-key single-flight} computes:
+    the first misser of a key installs an in-flight marker and runs the
+    compute function {e outside} the cache lock; racers on the {e same}
+    key block on a condition variable and pick up the finished value
+    (counted as hits), while misses on {e distinct} keys overlap — a
+    slow suite compile no longer serializes every other compile on the
+    same cache.  A compute that raises wakes its waiters empty-handed;
+    the first of them retries the compute itself.
 
     Keys use structural equality/hashing; values are never mutated by
     the cache.  Capacity eviction is strict LRU (stamped on every
-    hit). *)
+    hit); in-flight keys don't count against capacity and are never
+    evicted. *)
 
 type ('k, 'v) t
 
@@ -20,8 +22,10 @@ val create : name:string -> cap:int -> unit -> ('k, 'v) t
 val name : _ t -> string
 
 (** [find_or_compute t k f] — the cached value, or [f ()] inserted
-    under [k] (evicting the least recently used entry if full).
-    Exceptions from [f] propagate and cache nothing. *)
+    under [k] (evicting the least recently used entry if full).  [f]
+    runs outside the cache lock; concurrent callers with the same key
+    run [f] once and share the result.  Exceptions from [f] propagate
+    to the computing caller and cache nothing. *)
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 
 (** Peek without computing or touching LRU order. *)

@@ -31,9 +31,17 @@ let create ?(shards = 4) () =
 
 let n_shards t = Array.length t.shards
 
+(* the round-robin cursors only ever increment, so on a long-running
+   daemon they wrap past [max_int] and go negative; [mod] keeps the
+   sign of the dividend in OCaml, so [t.shards.(-k)] would raise.
+   Masking the sign bit first keeps the index in [0, n) forever (the
+   round-robin sequence hiccups by one step at the wrap, which is
+   harmless — shard choice is load-spreading, not correctness). *)
+let cursor_next ctr = Atomic.fetch_and_add ctr 1 land max_int
+
 let push t x =
   if t.closed then raise Closed;
-  let s = t.shards.(Atomic.fetch_and_add t.push_ctr 1 mod n_shards t) in
+  let s = t.shards.(cursor_next t.push_ctr mod n_shards t) in
   Mutex.protect s.lock (fun () -> Queue.push x s.items);
   (* publish after the item is visible in its shard: a consumer that
      wins the [avail] decrement finds it on the first sweep (a push
@@ -44,7 +52,7 @@ let push t x =
 
 let scan_once t =
   let n = n_shards t in
-  let start = Atomic.fetch_and_add t.pop_ctr 1 mod n in
+  let start = cursor_next t.pop_ctr mod n in
   let rec go i =
     if i = n then None
     else
@@ -102,3 +110,7 @@ let close t =
       Condition.broadcast t.gcond)
 
 let is_closed t = t.closed
+
+let unsafe_set_cursors t v =
+  Atomic.set t.push_ctr v;
+  Atomic.set t.pop_ctr v

@@ -38,3 +38,9 @@ val length : 'a t -> int
 val close : 'a t -> unit
 
 val is_closed : 'a t -> bool
+
+(** Test hook: place both round-robin cursors at [v] (e.g. near
+    [max_int]) to exercise the overflow wrap.  Not for production use —
+    racing it against live producers/consumers only perturbs shard
+    choice, but that is all it is for. *)
+val unsafe_set_cursors : 'a t -> int -> unit

@@ -71,7 +71,11 @@ type t = {
   fuzz_results : (fuzz_key, Json.t) Cache.t;
   suite_results : (string, Json.t) Cache.t;
   pools : (string * pool_slot) list;
-  hists : Histogram.t array array;  (* worker slot -> kind -> latencies ns *)
+  (* worker slot -> kind -> latencies ns; each slot is written by one
+     worker domain while the stats path reads concurrently, so slots are
+     mutex-guarded Sync histograms (a bare Histogram.record racing a
+     merge yields count/bucket mismatches and garbage percentiles) *)
+  hists : Histogram.Sync.t array array;
   inline_hists : Histogram.t array;  (* kinds answered by reader threads *)
   inline_lock : Mutex.t;
   stop : bool Atomic.t;
@@ -113,7 +117,8 @@ let create cfg =
     suite_results = Cache.create ~name:"suite" ~cap:16 ();
     pools = List.rev pools;
     hists =
-      Array.init total (fun _ -> Array.init n_kinds (fun _ -> Histogram.create ()));
+      Array.init total (fun _ ->
+          Array.init n_kinds (fun _ -> Histogram.Sync.create ()));
     inline_hists = Array.init n_kinds (fun _ -> Histogram.create ());
     inline_lock = Mutex.create ();
     stop = Atomic.make false;
@@ -259,7 +264,7 @@ let stats_json st =
   let merged = Array.init n_kinds (fun _ -> Histogram.create ()) in
   Array.iter
     (fun row ->
-      Array.iteri (fun k h -> Histogram.merge ~into:merged.(k) h) row)
+      Array.iteri (fun k h -> Histogram.Sync.merge_into ~into:merged.(k) h) row)
     st.hists;
   Mutex.protect st.inline_lock (fun () ->
       Array.iteri (fun k h -> Histogram.merge ~into:merged.(k) h) st.inline_hists);
@@ -387,7 +392,7 @@ let dispatch st conn ({ P.id; req } : P.envelope) =
     let kind_idx = P.kind_index req in
     let job ~wid =
       respond st conn ~id (result_of_handle st req);
-      Histogram.record st.hists.(offset + wid).(kind_idx) (now_ns () - t0)
+      Histogram.Sync.record st.hists.(offset + wid).(kind_idx) (now_ns () - t0)
     in
     (try Micropool.submit pool job
      with Mpmc.Closed -> respond st conn ~id (Error "server shutting down"))

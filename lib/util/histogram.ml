@@ -123,10 +123,13 @@ let clear t =
   t.vmin <- max_int;
   t.vmax <- 0
 
+let bucket_total t = Array.fold_left ( + ) 0 t.counts
+
 let to_json t =
   Json.Obj
     [
       ("count", Json.Int t.n);
+      ("bucket_total", Json.Int (bucket_total t));
       ("sum", Json.Int t.total);
       ("min", Json.Int (min_value t));
       ("mean", Json.Float (mean t));
@@ -136,3 +139,17 @@ let to_json t =
       ("p99", Json.Int (percentile t 0.99));
       ("max", Json.Int t.vmax);
     ]
+
+module Sync = struct
+  type histogram = t
+
+  type t = { lock : Mutex.t; h : histogram }
+
+  let create () = { lock = Mutex.create (); h = create () }
+
+  let record t v = Mutex.protect t.lock (fun () -> record t.h v)
+
+  let snapshot t = Mutex.protect t.lock (fun () -> copy t.h)
+
+  let merge_into ~into t = Mutex.protect t.lock (fun () -> merge ~into t.h)
+end

@@ -9,10 +9,13 @@
     and {!merge} is element-wise addition — each server worker owns a
     private histogram and the [stats] request folds them together.
 
-    Thread-safety: a histogram must be {e written} by one thread at a
-    time.  Concurrent readers (the stats path) may observe a
-    mid-update snapshot — counts lag by at most the in-flight records,
-    which is exactly the usual monitoring contract. *)
+    Thread-safety: a bare histogram must be {e written} by one thread
+    at a time, and readers must not overlap writers — {!record}
+    mutates counts/n/total/min/max non-atomically, so an unsynchronized
+    reader can observe [count] inconsistent with the bucket counts and
+    {!percentile} walks garbage.  Cross-domain slots belong behind
+    {!Sync}, which guards every operation with a per-histogram mutex
+    and hands readers a private {!copy}. *)
 
 type t
 
@@ -47,6 +50,32 @@ val copy : t -> t
 
 val clear : t -> unit
 
-(** [{"count";"sum";"min";"max";"mean";"p50";"p90";"p95";"p99";"max"}]
-    summary object (values in the recorded unit). *)
+(** Sum of all bucket counts.  Equals {!count} on any histogram built
+    without data races — the stats endpoint asserts exactly this. *)
+val bucket_total : t -> int
+
+(** [{"count";"bucket_total";"sum";"min";"mean";"p50";"p90";"p95";
+    "p99";"max"}] summary object (values in the recorded unit).
+    [bucket_total] always equals [count] for a race-free histogram. *)
 val to_json : t -> Json.t
+
+(** Mutex-guarded histogram for slots written by one domain and read
+    by another (the server's per-worker latency slots).  [record] locks
+    per call — a couple of shifts plus an uncontended lock, still cheap
+    enough for the request path; readers take a consistent {!copy}
+    under the same lock. *)
+module Sync : sig
+  type histogram = t
+
+  type t
+
+  val create : unit -> t
+
+  val record : t -> int -> unit
+
+  (** A private, consistent copy — safe to read lock-free. *)
+  val snapshot : t -> histogram
+
+  (** Merge a consistent view of [t] into the (caller-private) [into]. *)
+  val merge_into : into:histogram -> t -> unit
+end

@@ -177,6 +177,7 @@ let test_utilization_degenerate () =
       work = 0;
       misses = [||];
       miss_cost = 0;
+      space_hwm = 0;
       busy = 0;
       n_anchors = 0;
       n_procs = 4;
@@ -191,6 +192,7 @@ let test_utilization_degenerate () =
       work = 0;
       misses = [||];
       miss_cost = 0;
+      space_hwm = 0;
       steals = 0;
       busy = 0;
       n_procs = 4;
@@ -205,6 +207,115 @@ let test_utilization_degenerate () =
   let s = Sb.run p machine in
   let u = Sb.utilization s in
   Alcotest.(check bool) "real run in (0,1]" true (u > 0. && u <= 1.)
+
+(* ------------------------------- zoo -------------------------------- *)
+
+module Scheduler = Nd_sched.Scheduler
+module Zoo = Nd_sched.Zoo
+
+let test_zoo_registry () =
+  Alcotest.(check (list string))
+    "names" [ "greedy"; "sb"; "ws"; "pdf"; "tree" ] Zoo.names;
+  List.iter
+    (fun name ->
+      match Zoo.find name with
+      | Some (module S : Scheduler.S) ->
+        Alcotest.(check string) "find returns the named member" name S.name
+      | None -> Alcotest.failf "zoo member %s not found" name)
+    Zoo.names;
+  Alcotest.(check bool) "unknown name" true (Zoo.find "bogus" = None)
+
+let test_zoo_invariants () =
+  let machine = small_machine ~top:2 () in
+  let nproc = Pmh.n_procs machine in
+  List.iter
+    (fun (wname, p) ->
+      let g = Greedy.run ~procs:1 p in
+      let work = g.Greedy.work and span = g.Greedy.span in
+      List.iter
+        (fun (sname, (module S : Scheduler.S)) ->
+          let s = S.run ~seed:1 p machine in
+          let ctx = Printf.sprintf "%s/%s" wname sname in
+          if s.Scheduler.work <> work then
+            Alcotest.failf "%s: work %d <> %d" ctx s.Scheduler.work work;
+          if s.Scheduler.span <> span then
+            Alcotest.failf "%s: span %d <> %d" ctx s.Scheduler.span span;
+          if s.Scheduler.busy < work then
+            Alcotest.failf "%s: busy %d < work %d" ctx s.Scheduler.busy work;
+          let lower = max span ((work + nproc - 1) / nproc) in
+          if s.Scheduler.time < lower then
+            Alcotest.failf "%s: time %d below lower bound %d" ctx
+              s.Scheduler.time lower;
+          if s.Scheduler.space_hwm <= 0 then
+            Alcotest.failf "%s: space hwm %d not positive" ctx
+              s.Scheduler.space_hwm;
+          let u = Scheduler.utilization s in
+          if not (u > 0. && u <= 1.) then
+            Alcotest.failf "%s: utilization %g outside (0,1]" ctx u;
+          Array.iter
+            (fun m ->
+              if m < 0 then Alcotest.failf "%s: negative miss count" ctx)
+            s.Scheduler.misses)
+        Zoo.all)
+    (workloads ())
+
+let test_zoo_deterministic () =
+  let machine = small_machine ~top:2 () in
+  let _, p = List.hd (workloads ()) in
+  List.iter
+    (fun (sname, (module S : Scheduler.S)) ->
+      let a = S.run ~seed:7 p machine and b = S.run ~seed:7 p machine in
+      if a <> b then Alcotest.failf "%s: same seed, different stats" sname)
+    Zoo.all
+
+(* PDF's premium is the shared cache (Blelloch–Gibbons): its ready-vertex
+   priorities follow the serial depth-first order, so one shared cache
+   sees near-serial locality, while p work-stealing streams each chase
+   their own depth-first suffix and thrash it.  The effect needs the
+   working set to dwarf the cache and enough processors to make the
+   stealing streams collide — mm at n in {32, 64} with an 8- or 16-way
+   shared cache of 256..1024 words; at p = 4 or near-fitting sizes the
+   orders converge and WS can edge ahead, so those configs are out. *)
+let test_pdf_not_worse_than_ws_shared_cache () =
+  let shared p size =
+    Pmh.create ~root_fanout:1 [ { Pmh.size; fanout = p; miss_cost = 8 } ]
+  in
+  List.iter
+    (fun (name, w) ->
+      let prog = Workload.compile w in
+      List.iter
+        (fun (procs, size) ->
+          let machine = shared procs size in
+          let pdf =
+            (Nd_sched.Pdf_sched.run ~seed:1 prog machine).Scheduler.misses.(0)
+          in
+          List.iter
+            (fun seed ->
+              let ws =
+                (Ws.Shared.run ~seed prog machine).Scheduler.misses.(0)
+              in
+              if pdf > ws then
+                Alcotest.failf
+                  "%s p=%d M=%d seed=%d: pdf misses %d > ws misses %d" name
+                  procs size seed pdf ws)
+            [ 1; 2; 3; 4; 5 ])
+        [ (8, 256); (8, 512); (8, 1024); (16, 256); (16, 512); (16, 1024) ])
+    [
+      ("mm32", Matmul.workload ~n:32 ~base:4 ~seed:1 ());
+      ("mm64", Matmul.workload ~n:64 ~base:8 ~seed:1 ());
+    ]
+
+(* the tree scheduler's whole point: admitted-task residency never
+   exceeds the budget when the largest task fits (forced admission can
+   only overrun with tasks bigger than the budget themselves) *)
+let test_tree_space_within_budget () =
+  let machine = small_machine ~top:2 () in
+  let _, p = List.hd (workloads ()) in
+  let budget = 4096 in
+  let s = Nd_sched.Tree_sched.run ~budget p machine in
+  if s.Scheduler.space_hwm > budget then
+    Alcotest.failf "space hwm %d exceeds budget %d" s.Scheduler.space_hwm
+      budget
 
 let () =
   Alcotest.run "nd_sched"
@@ -239,5 +350,17 @@ let () =
         [
           Alcotest.test_case "degenerate utilization" `Quick
             test_utilization_degenerate;
+        ] );
+      ( "zoo",
+        [
+          Alcotest.test_case "registry" `Quick test_zoo_registry;
+          Alcotest.test_case "shared-interface invariants" `Quick
+            test_zoo_invariants;
+          Alcotest.test_case "seed-deterministic" `Quick
+            test_zoo_deterministic;
+          Alcotest.test_case "pdf <= ws misses on shared cache" `Quick
+            test_pdf_not_worse_than_ws_shared_cache;
+          Alcotest.test_case "tree respects space budget" `Quick
+            test_tree_space_within_budget;
         ] );
     ]

@@ -61,6 +61,48 @@ let test_hist_merge () =
         (Histogram.percentile all q) (Histogram.percentile m q))
     [ 0.5; 0.9; 0.95; 0.99; 1.0 ]
 
+(* regression for the stats_json race: worker domains used to record
+   into bare histograms while the stats reader merged them unlocked, so
+   a snapshot could catch a bucket increment before the count increment
+   and report count <> sum of buckets.  With Histogram.Sync every
+   snapshot must be internally consistent, and the final tally exact. *)
+let test_hist_sync_hammer () =
+  let n_writers = 4 and per = 20_000 in
+  let h = Histogram.Sync.create () in
+  let stop = Atomic.make false in
+  let writers =
+    List.init n_writers (fun w ->
+        Domain.spawn (fun ()  ->
+            let prng = Nd_util.Prng.create (0xbeef + w) in
+            for _ = 1 to per do
+              Histogram.Sync.record h (Nd_util.Prng.int prng 1_000_000)
+            done))
+  in
+  let reader =
+    Domain.spawn (fun () ->
+        let checked = ref 0 in
+        while not (Atomic.get stop) do
+          let s = Histogram.Sync.snapshot h in
+          if Histogram.count s <> Histogram.bucket_total s then
+            Alcotest.failf "torn snapshot: count %d <> bucket total %d"
+              (Histogram.count s) (Histogram.bucket_total s);
+          incr checked
+        done;
+        !checked)
+  in
+  List.iter Domain.join writers;
+  Atomic.set stop true;
+  let checked = Domain.join reader in
+  Alcotest.(check bool) "reader made progress" true (checked > 0);
+  let final = Histogram.Sync.snapshot h in
+  Alcotest.(check int) "exact count" (n_writers * per) (Histogram.count final);
+  Alcotest.(check int) "count = bucket total" (Histogram.count final)
+    (Histogram.bucket_total final);
+  (* merge_into sees the same totals *)
+  let m = Histogram.create () in
+  Histogram.Sync.merge_into ~into:m h;
+  Alcotest.(check int) "merge count" (n_writers * per) (Histogram.count m)
+
 (* -------------------------- protocol codec -------------------------- *)
 
 let wk : P.workload_key =
@@ -270,6 +312,59 @@ let test_mpmc_close_semantics () =
   Alcotest.(check bool) "then None" true (Mpmc.pop q = None);
   Alcotest.(check bool) "try_pop None" true (Mpmc.try_pop q = None)
 
+(* regression for the cursor overflow: fetch_and_add wraps past max_int
+   to min_int, and a negative counter mod n_shards is negative, so the
+   shard lookup raised Invalid_argument.  The cursors are now masked
+   with [land max_int]; pre-seed them at the brink and run enough
+   traffic to cross the wrap on every shard. *)
+let test_mpmc_cursor_wrap () =
+  let q = Mpmc.create ~shards:4 () in
+  Mpmc.unsafe_set_cursors q (max_int - 2);
+  let n = 64 in
+  let seen = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Mpmc.push q i
+  done;
+  let rec drain () =
+    match Mpmc.try_pop q with
+    | Some v ->
+      seen.(v) <- seen.(v) + 1;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Array.iteri
+    (fun v c ->
+      if c <> 1 then
+        Alcotest.failf "item %d delivered %d times across the wrap" v c)
+    seen;
+  (* and under contention: two producers and a consumer racing over the
+     wrap point must still deliver exactly once *)
+  let q = Mpmc.create ~shards:2 () in
+  Mpmc.unsafe_set_cursors q (max_int - 1);
+  let per = 1_000 in
+  let producers =
+    List.init 2 (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Mpmc.push q ((p * per) + i)
+            done))
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec go acc =
+          match Mpmc.pop q with Some v -> go (v :: acc) | None -> acc
+        in
+        go [])
+  in
+  List.iter Domain.join producers;
+  Mpmc.close q;
+  let taken = Domain.join consumer in
+  Alcotest.(check int) "all delivered across wrap" (2 * per)
+    (List.length taken);
+  Alcotest.(check int) "no duplicates" (2 * per)
+    (List.length (List.sort_uniq compare taken))
+
 (* ---------------------------- micropool ----------------------------- *)
 
 let test_micropool_lazy_and_exact () =
@@ -318,6 +413,79 @@ let test_cache_lru () =
   Alcotest.(check int) "hits" 1 (Cache.hits c);
   Alcotest.(check int) "misses" 3 (Cache.misses c);
   Alcotest.(check int) "evictions" 1 (Cache.evictions c)
+
+(* single-flight: two domains racing find_or_compute on the same key
+   must run the compute exactly once — the loser blocks on the in-flight
+   marker and reads the winner's value. *)
+let test_cache_single_flight_same_key () =
+  let c = Cache.create ~name:"t" ~cap:4 () in
+  let computes = Atomic.make 0 in
+  let entered = Atomic.make 0 in
+  let f () =
+    Atomic.incr computes;
+    (* a slow compute: give the second domain ample time to arrive and
+       observe the Pending slot rather than racing past it *)
+    Unix.sleepf 0.05;
+    42
+  in
+  let worker () =
+    Domain.spawn (fun () ->
+        Atomic.incr entered;
+        (* rendezvous so both domains request the key together *)
+        while Atomic.get entered < 2 do
+          Domain.cpu_relax ()
+        done;
+        Cache.find_or_compute c 7 f)
+  in
+  let a = worker () and b = worker () in
+  let va = Domain.join a and vb = Domain.join b in
+  Alcotest.(check int) "both read the value" 84 (va + vb);
+  Alcotest.(check int) "compute ran once" 1 (Atomic.get computes);
+  Alcotest.(check int) "one hit" 1 (Cache.hits c);
+  Alcotest.(check int) "one miss" 1 (Cache.misses c)
+
+(* distinct keys must not serialize behind each other's computes: the
+   whole-cache lock is released while f runs, so two computes on
+   different keys can be in flight at once.  Each side waits (bounded)
+   for the other to enter its compute — under the old
+   hold-the-lock-while-computing scheme this deadlocks the rendezvous
+   and the assertion fails. *)
+let test_cache_distinct_keys_overlap () =
+  let c = Cache.create ~name:"t" ~cap:4 () in
+  let in_flight = Atomic.make 0 in
+  let saw_overlap = Atomic.make false in
+  let compute k () =
+    Atomic.incr in_flight;
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    let rec wait () =
+      if Atomic.get in_flight >= 2 then Atomic.set saw_overlap true
+      else if Unix.gettimeofday () < deadline then begin
+        Domain.cpu_relax ();
+        wait ()
+      end
+    in
+    wait ();
+    Atomic.decr in_flight;
+    k * 10
+  in
+  let run k = Domain.spawn (fun () -> Cache.find_or_compute c k (compute k)) in
+  let a = run 1 and b = run 2 in
+  Alcotest.(check int) "key 1" 10 (Domain.join a);
+  Alcotest.(check int) "key 2" 20 (Domain.join b);
+  Alcotest.(check bool) "computes overlapped" true (Atomic.get saw_overlap)
+
+(* a compute that raises must clear the in-flight marker so the key is
+   retryable (and waiters are not stranded) *)
+let test_cache_failed_compute_retries () =
+  let c = Cache.create ~name:"t" ~cap:4 () in
+  Alcotest.(check bool) "first compute raises" true
+    (match Cache.find_or_compute c 1 (fun () -> failwith "boom") with
+    | exception Failure _ -> true
+    | _ -> false);
+  Alcotest.(check int) "retry succeeds" 11
+    (Cache.find_or_compute c 1 (fun () -> 11));
+  Alcotest.(check bool) "cached after retry" true
+    (Cache.find_opt c 1 = Some 11)
 
 (* ---------------------- decompose thread-safety --------------------- *)
 
@@ -448,6 +616,7 @@ let () =
           Alcotest.test_case "log-bucket bound" `Quick
             test_hist_log_bucket_bound;
           Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "sync hammer" `Quick test_hist_sync_hammer;
         ] );
       ( "protocol",
         [
@@ -470,6 +639,8 @@ let () =
           Alcotest.test_case "exactly-once across domains" `Quick
             test_mpmc_exactly_once;
           Alcotest.test_case "close semantics" `Quick test_mpmc_close_semantics;
+          Alcotest.test_case "cursor wrap at max_int" `Quick
+            test_mpmc_cursor_wrap;
         ] );
       ( "micropool",
         [
@@ -479,7 +650,15 @@ let () =
             test_micropool_survives_errors;
         ] );
       ( "cache",
-        [ Alcotest.test_case "keyed lru" `Quick test_cache_lru ] );
+        [
+          Alcotest.test_case "keyed lru" `Quick test_cache_lru;
+          Alcotest.test_case "single-flight same key" `Quick
+            test_cache_single_flight_same_key;
+          Alcotest.test_case "distinct keys overlap" `Quick
+            test_cache_distinct_keys_overlap;
+          Alcotest.test_case "failed compute retries" `Quick
+            test_cache_failed_compute_retries;
+        ] );
       ( "decompose",
         [
           Alcotest.test_case "multi-domain hammer" `Quick test_decompose_hammer;
