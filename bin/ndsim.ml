@@ -220,7 +220,17 @@ let sb_cmd =
   let fine_arg =
     Arg.(value & flag & info [ "fine" ] ~doc:"Fine-grained cross-anchor readiness (E7 ablation).")
   in
-  let run algo n base seed np top fine trace_out =
+  let sim_workers_arg =
+    Arg.(value & opt (some int) None
+         & info [ "sim-workers" ] ~docv:"W"
+             ~doc:"Decoupled measurement mode: schedule under rho costs, then \
+                   replay the recorded access trace against per-cache LRU \
+                   simulators sharded across $(docv) domains (bit-identical \
+                   at every count).  Defaults to the NDSIM_SIM_WORKERS \
+                   environment variable when set; also prints the \
+                   per-(level,cache) miss table.")
+  in
+  let run algo n base seed np top fine sim_workers trace_out =
     let w = build_workload algo n base seed in
     let p = Workload.compile ~mode:(mode_of np) w in
     let machine = sim_machine top in
@@ -230,18 +240,32 @@ let sb_cmd =
       | Some _ -> Nd_trace.Collector.create ~workers:(Pmh.n_procs machine) ()
     in
     let mode = if fine then Nd_sched.Sb_sched.Fine else Nd_sched.Sb_sched.Coarse in
+    let sim_workers =
+      match sim_workers with
+      | Some w when w >= 1 -> Some w
+      | Some w -> die_usage "--sim-workers %d: must be >= 1" w
+      | None -> Nd_mem.Shard_sim.env_workers ()
+    in
     Format.printf "machine: %s@." (Pmh.describe machine);
-    let s = Nd_sched.Sb_sched.run ~mode ~tracer p machine in
-    Format.printf "SB(%s,%s): %a@."
+    let s = Nd_sched.Sb_sched.run ~mode ?sim_workers ~tracer p machine in
+    Format.printf "SB(%s,%s%s): %a@."
       (Workload.mode_name (mode_of np))
       (if fine then "fine" else "coarse")
+      (match sim_workers with
+      | Some w -> Printf.sprintf ",sim-workers=%d" w
+      | None -> "")
       Nd_sched.Sb_sched.pp_stats s;
+    (match (sim_workers, s.Nd_sched.Sb_sched.miss_table) with
+    | Some _, Some mt ->
+      (* deterministic per-cache table, so CI can diff worker counts *)
+      Format.printf "miss table: %a@." Nd_mem.Miss_table.pp mt
+    | _ -> ());
     Option.iter (finish_trace tracer) trace_out
   in
   Cmd.v
     (Cmd.info "sb" ~doc:"Simulate the space-bounded scheduler on a PMH.")
     Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg $ top_arg
-          $ fine_arg $ trace_out_arg)
+          $ fine_arg $ sim_workers_arg $ trace_out_arg)
 
 (* ------------------------------ sched ------------------------------ *)
 
@@ -454,7 +478,7 @@ let trace_cmd =
 let experiments_cmd =
   let which =
     Arg.(value & pos 0 (some string) None
-         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e10); all when omitted.")
+         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e11); all when omitted.")
   in
   let run which =
     match which with
@@ -472,7 +496,7 @@ let experiments_cmd =
 let suite_cmd =
   let which =
     Arg.(value & pos 0 (some string) None
-         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e10); all when omitted.")
+         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e11); all when omitted.")
   in
   let json_arg =
     Arg.(value & opt (some string) None

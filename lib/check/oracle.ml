@@ -18,6 +18,7 @@ type config = {
   serial_orders : int;
   explore_seeds : int list;
   check_miss_monotone : bool;
+  sim_workers : int list;
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     serial_orders = 3;
     explore_seeds = [ 1 ];
     check_miss_monotone = true;
+    sim_workers = [ 1; 2 ];
   }
 
 type report = {
@@ -165,6 +167,50 @@ let check_zoo cfg program ~work ~span =
     Nd_sched.Zoo.all;
   List.length Nd_sched.Zoo.all
 
+(* the sharded cache-simulation identity: SB's decoupled measurement
+   mode must produce bit-identical per-cache miss tables at every
+   sim-worker count, deterministically across repeated runs, without
+   perturbing the (ρ-cost) schedule *)
+let check_sim_shard cfg program ~work =
+  match cfg.sim_workers with
+  | [] -> 0
+  | w0 :: rest ->
+    let table stage s =
+      match s.Sb.miss_table with
+      | Some t -> t
+      | None -> fail stage "no miss table from replay mode"
+    in
+    let stage0 = Printf.sprintf "sim-shard w=%d" w0 in
+    let base =
+      guard stage0 (fun () -> Sb.run ~sim_workers:w0 program cfg.machine)
+    in
+    if base.Sb.work <> work then
+      fail stage0 "reported work %d <> %d" base.Sb.work work;
+    let bt = table stage0 base in
+    List.iter
+      (fun w ->
+        let stage = Printf.sprintf "sim-shard w=%d" w in
+        let s =
+          guard stage (fun () -> Sb.run ~sim_workers:w program cfg.machine)
+        in
+        if s.Sb.time <> base.Sb.time then
+          fail stage "time %d <> %d: sim sharding perturbed the schedule"
+            s.Sb.time base.Sb.time;
+        if s.Sb.misses <> base.Sb.misses then
+          fail stage "level miss totals diverge from w=%d" w0;
+        if s.Sb.miss_cost <> base.Sb.miss_cost then
+          fail stage "miss cost %d <> %d" s.Sb.miss_cost base.Sb.miss_cost;
+        if not (Nd_mem.Miss_table.equal bt (table stage s)) then
+          fail stage "per-cache miss table diverges from w=%d" w0;
+        (* determinism: the same worker count twice, bit-identical *)
+        let s' =
+          guard stage (fun () -> Sb.run ~sim_workers:w program cfg.machine)
+        in
+        if not (Nd_mem.Miss_table.equal (table stage s) (table stage s')) then
+          fail stage "repeated run not deterministic")
+      rest;
+    1 + List.length rest
+
 let check_ws cfg program ~work ~span =
   List.iter
     (fun seed ->
@@ -259,6 +305,7 @@ let run_oracle cfg program ~tree_work ~races_fail ~reset ~reference ~verify =
       + check_greedy cfg program ~work ~span
       + check_sb cfg program ~work ~span
       + check_ws cfg program ~work ~span
+      + check_sim_shard cfg program ~work
       + check_zoo cfg program ~work ~span
       + check_executing cfg program ~reset ~verify
     in

@@ -23,6 +23,10 @@
     - {b miss monotonicity}: the SB scheduler's per-level ρ miss counts
       are non-increasing in σ (larger space bounds only merge maximal
       tasks, never split them);
+    - {b sharded-sim identity}: SB's decoupled measurement mode
+      ([sim_workers]) yields bit-identical per-cache miss tables at
+      every worker count, deterministic across repeated runs, without
+      perturbing the schedule;
     - {b liveness}: the SB scheduler never raises [Deadlock] on a
       well-formed program (maximal tasks are disjoint, so coarse-mode
       contraction is acyclic), and no zoo member stalls (each raises on
@@ -45,6 +49,11 @@ type config = {
       (** seeds for {!Explore.explore_program} random-walk schedules of
           the dataflow engine; [[]] disables exploration *)
   check_miss_monotone : bool;
+  sim_workers : int list;
+      (** SB sharded-replay worker counts: the per-cache miss tables
+          must be bit-identical across all of them (and deterministic
+          across repeated runs), and the schedule must equal the first
+          entry's; [[]] disables the stage *)
 }
 
 (** Small sweeps over a tiny 2-level, 8-processor PMH — sized so a full

@@ -444,6 +444,71 @@ let e10_zoo () =
     ];
   t
 
+(* ------------------------------ E11 -------------------------------- *)
+
+let e11_sharded_sim () =
+  let t =
+    Table.create
+      ~title:
+        "E11: sharded cache simulation — SB replay measurement, serial vs \
+         sharded (8 workers), sigma sweep; per-cache tables bit-identical"
+      [
+        "algo"; "sigma"; "path"; "time"; "miss cost"; "misses"; "seconds";
+        "miss identical";
+      ]
+  in
+  let machine = sim_machine ~top_caches:1 in
+  let misses_str s =
+    String.concat ";"
+      (Array.to_list (Array.map string_of_int s.Nd_sched.Sb_sched.misses))
+  in
+  List.iter
+    (fun (name, n, base) ->
+      let fam = Workloads.find name in
+      let w = Workloads.build ~n ~base fam ~seed in
+      let p = Workload.compile w in
+      List.iter
+        (fun sigma ->
+          let timed workers =
+            let t0 = now_ns () in
+            let s = Nd_sched.Sb_sched.run ~sigma ~sim_workers:workers p machine in
+            (s, seconds_since t0)
+          in
+          let serial, serial_s = timed 1 in
+          let sharded, sharded_s = timed 8 in
+          let table st =
+            match st.Nd_sched.Sb_sched.miss_table with
+            | Some mt -> mt
+            | None -> failwith "E11: replay run returned no miss table"
+          in
+          let identical = Nd_mem.Miss_table.equal (table serial) (table sharded) in
+          (* the load-bearing acceptance check: a merge that dropped or
+             double-counted a shard either raised already (inside
+             replay) or diverges here — fail the whole suite run *)
+          if not identical then
+            failwith
+              (Printf.sprintf
+                 "E11: %s n=%d sigma=%.2f: sharded tables diverge from serial"
+                 name n sigma);
+          let row label st secs ident =
+            Table.add_row t
+              [
+                Printf.sprintf "%s n=%d" name n;
+                Table.cell_float ~prec:2 sigma;
+                label;
+                Table.cell_int st.Nd_sched.Sb_sched.time;
+                Table.cell_int st.Nd_sched.Sb_sched.miss_cost;
+                misses_str st;
+                Table.cell_float ~prec:3 secs;
+                ident;
+              ]
+          in
+          row "serial" serial serial_s "-";
+          row "sharded w=8" sharded sharded_s (string_of_bool identical))
+        [ 0.2; 1. /. 3.; 0.6; 1.0 ])
+    [ ("mm", 512, 32); ("fw1d", 512, 4) ];
+  t
+
 (* ---------------------------- overview ----------------------------- *)
 
 let overview () =
@@ -483,6 +548,7 @@ let all =
     ("e8", e8_rules);
     ("e9", e9_runtime);
     ("e10", e10_zoo);
+    ("e11", e11_sharded_sim);
   ]
 
 (* ---------------------------- drivers ------------------------------ *)

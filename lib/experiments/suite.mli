@@ -50,12 +50,20 @@ val e9_runtime : unit -> Nd_util.Table.t
 
 val e10_zoo : unit -> Nd_util.Table.t
 
+(** [e11_sharded_sim ()] — the sharded cache-simulation benchmark
+    (BENCH_7): SB in decoupled measurement mode over a sigma sweep,
+    serial replay vs 8-worker sharded replay side by side, with a
+    miss-identical column.  The builder {e raises} if any sharded table
+    diverges from its serial reference, so a suite run doubles as the
+    bit-identity acceptance gate. *)
+val e11_sharded_sim : unit -> Nd_util.Table.t
+
 (** [overview ()] — per-algorithm inventory (work, spans, DAG sizes) at
     the default sizes. *)
 val overview : unit -> Nd_util.Table.t
 
 (** The experiments by name, in harness order
-    (["overview"; "e1" ... "e10"]). *)
+    (["overview"; "e1" ... "e11"]). *)
 val all : (string * (unit -> Nd_util.Table.t)) list
 
 (** Per-experiment wall-clock, measured with the monotonic clock. *)
@@ -79,7 +87,7 @@ val build_all :
     in suite order followed by the timings table. *)
 val run_all : ?workers:int -> ?tracer:Nd_trace.Collector.t -> unit -> unit
 
-(** [run name] — run and print one of ["overview"; "e1"..."e10"].
+(** [run name] — run and print one of ["overview"; "e1"..."e11"].
     @raise Not_found on an unknown name. *)
 val run : string -> unit
 

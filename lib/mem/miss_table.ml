@@ -1,0 +1,116 @@
+type t = {
+  counts : int array array;  (* counts.(level-1).(cache) *)
+  claimed : bool array array;  (* merge bookkeeping, same shape *)
+}
+
+let create ~n_caches =
+  Array.iter
+    (fun n -> if n < 1 then invalid_arg "Miss_table.create: empty level")
+    n_caches;
+  {
+    counts = Array.map (fun n -> Array.make n 0) n_caches;
+    claimed = Array.map (fun n -> Array.make n false) n_caches;
+  }
+
+let n_levels t = Array.length t.counts
+
+let check_cell t ~level ~cache =
+  if level < 1 || level > n_levels t then invalid_arg "Miss_table: bad level";
+  if cache < 0 || cache >= Array.length t.counts.(level - 1) then
+    invalid_arg "Miss_table: bad cache"
+
+let n_caches t ~level =
+  if level < 1 || level > n_levels t then invalid_arg "Miss_table: bad level";
+  Array.length t.counts.(level - 1)
+
+let add t ~level ~cache n =
+  check_cell t ~level ~cache;
+  if n < 0 then invalid_arg "Miss_table.add: negative count";
+  t.counts.(level - 1).(cache) <- t.counts.(level - 1).(cache) + n
+
+let get t ~level ~cache =
+  check_cell t ~level ~cache;
+  t.counts.(level - 1).(cache)
+
+let level_totals t =
+  Array.map (Array.fold_left ( + ) 0) t.counts
+
+let total_cost t ~miss_cost =
+  let acc = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iter (fun n -> acc := !acc + (n * miss_cost (i + 1))) row)
+    t.counts;
+  !acc
+
+let same_shape a b =
+  n_levels a = n_levels b
+  && Array.for_all2
+       (fun ra rb -> Array.length ra = Array.length rb)
+       a.counts b.counts
+
+let equal a b = same_shape a b && a.counts = b.counts
+
+let of_sims sims =
+  {
+    counts =
+      Array.map (fun row -> Array.map Cache_sim.misses row) sims;
+    claimed = Array.map (fun row -> Array.make (Array.length row) false) sims;
+  }
+
+let merge_exclusive ~into ~claims src =
+  if not (same_shape into src) then
+    invalid_arg "Miss_table.merge_exclusive: shape mismatch";
+  (* a shard may only contribute inside its claim: anything else is a
+     routing bug that would silently corrupt another shard's cells *)
+  let in_claims level cache =
+    Array.exists (fun (l, c) -> l = level && c = cache) claims
+  in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun c n ->
+          if n <> 0 && not (in_claims (i + 1) c) then
+            invalid_arg
+              (Printf.sprintf
+                 "Miss_table.merge_exclusive: shard wrote outside its claim \
+                  (level %d cache %d)"
+                 (i + 1) c))
+        row)
+    src.counts;
+  Array.iter
+    (fun (level, cache) ->
+      check_cell into ~level ~cache;
+      if into.claimed.(level - 1).(cache) then
+        invalid_arg
+          (Printf.sprintf
+             "Miss_table.merge_exclusive: level %d cache %d claimed twice \
+              (double-counted shard)"
+             level cache);
+      into.claimed.(level - 1).(cache) <- true;
+      into.counts.(level - 1).(cache) <-
+        into.counts.(level - 1).(cache) + src.counts.(level - 1).(cache))
+    claims
+
+let assert_complete t =
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun c claimed ->
+          if not claimed then
+            invalid_arg
+              (Printf.sprintf
+                 "Miss_table.assert_complete: level %d cache %d never merged \
+                  (dropped shard)"
+                 (i + 1) c))
+        row)
+    t.claimed
+
+let pp ppf t =
+  Array.iteri
+    (fun i row ->
+      Format.fprintf ppf "%sL%d=[%s]"
+        (if i = 0 then "" else " ")
+        (i + 1)
+        (String.concat ";" (Array.to_list (Array.map string_of_int row))))
+    t.counts

@@ -1,0 +1,57 @@
+(** Per-(level, cache-instance) miss counts for a PMH-shaped machine,
+    with an exclusive merge for combining shard-local tables.
+
+    The sharded cache simulation ({!Shard_sim}) gives each domain a
+    private table; the merge step then folds them into one, and is the
+    step the bit-identity harness must be able to trust.  So the merge
+    is {e partition-checked}: every (level, cache) cell may be claimed
+    by exactly one shard.  A cell claimed twice (a double-counted
+    shard) and a shard contributing outside its claim both raise
+    immediately; {!assert_complete} raises if any cell was never
+    claimed (a dropped shard). *)
+
+type t
+
+(** [create ~n_caches] — all-zero table; [n_caches.(j-1)] is the number
+    of cache instances at level [j] (as in {!Nd_pmh.Pmh.n_caches}).
+    @raise Invalid_argument on an empty level. *)
+val create : n_caches:int array -> t
+
+val n_levels : t -> int
+
+val n_caches : t -> level:int -> int
+
+(** [add t ~level ~cache n] adds [n >= 0] misses to one cell. *)
+val add : t -> level:int -> cache:int -> int -> unit
+
+val get : t -> level:int -> cache:int -> int
+
+(** Per-level sums, index [j-1] = level [j] — the shape of
+    [Sb_sched.stats.misses]. *)
+val level_totals : t -> int array
+
+(** [total_cost t ~miss_cost] = sum over cells of
+    [count * miss_cost level]. *)
+val total_cost : t -> miss_cost:(int -> int) -> int
+
+(** Cell-wise equality of the counts (bit-identity; merge bookkeeping
+    is not compared). *)
+val equal : t -> t -> bool
+
+(** [of_sims sims] — snapshot the miss counters of a per-cache
+    simulator bank, [sims.(j-1).(c)] being the level-[j] cache [c]. *)
+val of_sims : Cache_sim.t array array -> t
+
+(** [merge_exclusive ~into ~claims src] adds [src]'s cells listed in
+    [claims] into [into] and marks them claimed.
+    @raise Invalid_argument if shapes differ, if a claimed cell was
+    already claimed by an earlier merge (double-counted shard), or if
+    [src] holds a non-zero count outside [claims] (a shard that wrote
+    into another shard's cells). *)
+val merge_exclusive : into:t -> claims:(int * int) array -> t -> unit
+
+(** @raise Invalid_argument if any cell of [t] was never claimed by a
+    {!merge_exclusive} (dropped shard). *)
+val assert_complete : t -> unit
+
+val pp : Format.formatter -> t -> unit

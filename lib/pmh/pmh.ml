@@ -70,6 +70,44 @@ let procs_under t ~level ~cache =
   if cache < 0 || cache >= n_caches t ~level then invalid_arg "Pmh: bad cache";
   (cache * per, ((cache + 1) * per) - 1)
 
+let shard_pairs t ~shards =
+  if shards < 1 then invalid_arg "Pmh.shard_pairs: shards < 1";
+  (* weight of a (level, cache) pair = processors under the cache: a
+     uniform access stream touches every level once per access, split
+     across that level's instances in proportion to the leaves below
+     each one, so [procs_per_cache] is the pair's expected trace share
+     (in units of one access) *)
+  let pairs = ref [] in
+  for level = n_levels t downto 1 do
+    for cache = n_caches t ~level - 1 downto 0 do
+      pairs := (procs_per_cache t level, level, cache) :: !pairs
+    done
+  done;
+  let pairs = Array.of_list !pairs in
+  (* LPT: heaviest first; ties broken by (level, cache) ascending so the
+     partition is a pure function of the machine shape *)
+  Array.sort
+    (fun (w1, l1, c1) (w2, l2, c2) ->
+      if w1 <> w2 then compare w2 w1
+      else if l1 <> l2 then compare l1 l2
+      else compare c1 c2)
+    pairs;
+  let k = min shards (Array.length pairs) in
+  let load = Array.make k 0 in
+  let bins = Array.make k [] in
+  Array.iter
+    (fun (w, level, cache) ->
+      let best = ref 0 in
+      for b = 1 to k - 1 do
+        if load.(b) < load.(!best) then best := b
+      done;
+      load.(!best) <- load.(!best) + w;
+      bins.(!best) <- (level, cache) :: bins.(!best))
+    pairs;
+  Array.map
+    (fun bin -> Array.of_list (List.sort compare bin))
+    bins
+
 let perfect_time t ~sigma ~q_star =
   let p = float_of_int (n_procs t) in
   let total = ref 0. in

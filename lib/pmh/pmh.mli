@@ -57,6 +57,18 @@ val cache_of_proc : t -> proc:int -> level:int -> int
     [(lo, hi)] below a cache instance. *)
 val procs_under : t -> level:int -> cache:int -> int * int
 
+(** [shard_pairs t ~shards] — a deterministic partition of all
+    (level, cache-instance) pairs of the machine into at most [shards]
+    disjoint groups, for parallel per-cache simulation.  Every pair
+    appears in exactly one group.  Pairs are weighted by the processor
+    count below the cache (the expected share of a uniform access trace
+    routed to it) and balanced greedily, heaviest first (LPT); ties
+    break on (level, cache) order, so the result is a pure function of
+    the machine shape and [shards].  Each group is non-empty and sorted
+    by (level, cache); the group count is [min shards n_pairs].
+    @raise Invalid_argument if [shards < 1]. *)
+val shard_pairs : t -> shards:int -> (int * int) array array
+
 (** [perfect_time t ~sigma ~q_star] — the perfectly load-balanced bound
     of Eq. 22: (sum over levels j of Q*(sigma*M_j) * C_j) / p, where
     [q_star m] evaluates the program's PCC at cache size [m].  The

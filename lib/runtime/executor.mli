@@ -72,7 +72,11 @@ val default_workers : unit -> int
     per-worker state such as trace rings.  [f] must be safe to call
     concurrently for distinct [i].  If an iteration raises, remaining
     unclaimed iterations are abandoned and the first exception is
-    re-raised (with its backtrace) after all workers stop. *)
+    re-raised (with its backtrace) after all workers stop; iterations
+    already claimed by other workers run to completion first, so an
+    observer never sees a half-executed iteration.  Calls nest: [f] may
+    itself call [parallel_for] (each call spawns its own domains), and
+    an inner exception unwinds through every level. *)
 val parallel_for : ?workers:int -> int -> (int -> int -> unit) -> unit
 
 (** {2 The dataflow engine as a value}

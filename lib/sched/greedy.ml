@@ -85,5 +85,6 @@ module Shared : Scheduler.S = struct
       space_hwm = s.space_hwm;
       busy = s.work;
       n_procs = s.n_procs;
+      miss_table = None;
     }
 end

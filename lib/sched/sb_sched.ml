@@ -17,11 +17,20 @@ type stats = {
   busy : int;
   n_anchors : int;
   n_procs : int;
+  miss_table : Nd_mem.Miss_table.t option;
 }
 
 exception Deadlock of string
 
-type task_state = Waiting | Queued | Active | Done_state
+(* task states, kept as ints so the whole task state lives in one flat
+   array indexed by global task id *)
+let st_waiting = 0
+
+let st_queued = 1
+
+let st_active = 2
+
+let st_done = 3
 
 type anchor = {
   a_level : int;  (* cache level; n_levels+1 for the memory root *)
@@ -47,8 +56,23 @@ let pp_stats ppf s =
     s.time s.work s.miss_cost s.space_hwm util s.n_anchors
     (String.concat ";" (Array.to_list (Array.map string_of_int s.misses)))
 
+(* growable int array, shared by the edge and dependency recorders *)
+type ibuf = { mutable buf : int array; mutable len : int }
+
+let ibuf_create n = { buf = Array.make (max 16 n) 0; len = 0 }
+
+let ibuf_push b x =
+  if b.len >= Array.length b.buf then begin
+    let bigger = Array.make (2 * Array.length b.buf) 0 in
+    Array.blit b.buf 0 bigger 0 b.len;
+    b.buf <- bigger
+  end;
+  b.buf.(b.len) <- x;
+  b.len <- b.len + 1
+
 let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
-    ?(alloc_alpha = 1.) ?(tracer = Nd_trace.Collector.null) program machine =
+    ?(alloc_alpha = 1.) ?sim_workers ?(tracer = Nd_trace.Collector.null)
+    program machine =
   let dag = Program.dag program in
   let traced = Nd_trace.Collector.enabled tracer in
   (* trace context: the processor whose heap event is being handled (the
@@ -67,6 +91,24 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
   let ton j n = decomp.(j - 1).Program.task_of_node.(n) in
   let nv = Dag.n_vertices dag in
 
+  (* ---- global task ids ---- *)
+  (* every (level, task) pair flattened to one int, so per-task state
+     (dependency counts, run state, visited sets) lives in flat arrays
+     rather than per-level arrays of tuples/hashtables *)
+  let goff = Array.make (h + 1) 0 in
+  for i = 0 to h - 1 do
+    goff.(i + 1) <- goff.(i) + n_tasks.(i)
+  done;
+  let tcount = goff.(h) in
+  let gid j ti = goff.(j - 1) + ti in
+  (* level of a global id, for decoding CSR targets back to (j, ti) *)
+  let glev = Array.make (max 1 tcount) 0 in
+  for j = 1 to h do
+    for ti = 0 to n_tasks.(j - 1) - 1 do
+      glev.(gid j ti) <- j
+    done
+  done;
+
   (* ---- level-1 fine event graph: tasks + glue vertices ---- *)
   let n1 = n_tasks.(0) in
   let glue1_id = Array.make nv (-1) in
@@ -83,25 +125,15 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
      deduplicated in place (no tuple hashtable, no per-edge allocation),
      then laid out in CSR form so [fire_fine] walks a flat array segment *)
   let csr = Dag.csr dag in
-  let enc = ref (Array.make 256 0) in
-  let n_enc = ref 0 in
-  let push_edge e =
-    if !n_enc >= Array.length !enc then begin
-      let bigger = Array.make (2 * Array.length !enc) 0 in
-      Array.blit !enc 0 bigger 0 !n_enc;
-      enc := bigger
-    end;
-    !enc.(!n_enc) <- e;
-    incr n_enc
-  in
+  let enc = ibuf_create 256 in
   for u = 0 to nv - 1 do
     let fu = fine_id u in
     for k = csr.Dag.succ_off.(u) to csr.Dag.succ_off.(u + 1) - 1 do
       let fv = fine_id csr.Dag.succ_tgt.(k) in
-      if fu <> fv && fv >= n1 then push_edge ((fu * fine_n) + fv)
+      if fu <> fv && fv >= n1 then ibuf_push enc ((fu * fine_n) + fv)
     done
   done;
-  let edges = Array.sub !enc 0 !n_enc in
+  let edges = Array.sub enc.buf 0 enc.len in
   Array.sort Int.compare edges;
   let n_edges = ref 0 in
   for i = 0 to Array.length edges - 1 do
@@ -132,16 +164,31 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
         if j = h then Array.make n_tasks.(i) (-1)
         else Array.map (fun node -> ton (j + 1) node) decomp.(i).Program.tasks)
   in
-  (* children.(j-1).(ti) = level-(j-1) tasks whose parent is (j, ti); only
-     meaningful for j >= 2 *)
-  let children = Array.init (h + 1) (fun i ->
-      if i < 2 then [||]
-      else Array.make n_tasks.(i - 2) [])
+  (* children of level-l tasks (their level-(l-1) subtasks), in CSR form:
+     [child_tgt.(l)] holds child indices ascending, segmented by
+     [child_off.(l)]; only meaningful for l >= 2 *)
+  let child_off =
+    Array.init (h + 1) (fun l ->
+        if l < 2 then [||] else Array.make (n_tasks.(l - 1) + 1) 0)
   in
-  for j = 1 to h - 1 do
-    for ti = n_tasks.(j - 1) - 1 downto 0 do
-      let p = parent_task.(j - 1).(ti) in
-      children.(j + 1).(p) <- ti :: children.(j + 1).(p)
+  let child_tgt =
+    Array.init (h + 1) (fun l ->
+        if l < 2 then [||] else Array.make n_tasks.(l - 2) 0)
+  in
+  for l = 2 to h do
+    let off = child_off.(l) and tgt = child_tgt.(l) in
+    for ti = 0 to n_tasks.(l - 2) - 1 do
+      let p = parent_task.(l - 2).(ti) in
+      off.(p + 1) <- off.(p + 1) + 1
+    done;
+    for p = 0 to n_tasks.(l - 1) - 1 do
+      off.(p + 1) <- off.(p) + off.(p + 1)
+    done;
+    let cursor = Array.sub off 0 (n_tasks.(l - 1)) in
+    for ti = 0 to n_tasks.(l - 2) - 1 do
+      let p = parent_task.(l - 2).(ti) in
+      tgt.(cursor.(p)) <- ti;
+      cursor.(p) <- cursor.(p) + 1
     done
   done;
   (* atoms (level-1 tasks) per level-j task *)
@@ -162,23 +209,27 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
   done;
 
   (* ---- dependency sets ---- *)
-  (* events: Fine f (level-1 node fired) encoded as (0, f);
-     Task (j, ti) completion encoded as (j, ti) with j >= 2 *)
-  let dep_count = Array.init h (fun i -> Array.make n_tasks.(i) 0) in
-  let state = Array.init h (fun i -> Array.make n_tasks.(i) Waiting) in
-  let fine_subs = Array.make fine_n [] in
-  let task_subs = Hashtbl.create 1024 in
+  (* events: Fine f (level-1 node fired) encoded as [f]; Task (j, ti)
+     completion (j >= 2) encoded as [fine_n + gid j ti].  Subscribers of
+     all events live in one unified CSR over this id space; per-source
+     slots are filled in reverse record order, so walking a segment
+     left-to-right reproduces the LIFO iteration order of the former
+     per-event subscriber lists exactly (the schedule, and hence every
+     stat, is bit-identical to the list-based layout). *)
+  let n_events = fine_n + tcount in
+  let dep_count = Array.make (max 1 tcount) 0 in
+  let st = Array.make (max 1 tcount) st_waiting in
   let dep_seen = Hashtbl.create (8 * nv) in
-  let add_dep j tv ev =
-    let key = (j, tv, ev) in
+  let rec_src = ibuf_create (4 * nv) in
+  let rec_tgt = ibuf_create (4 * nv) in
+  let add_dep j tv es =
+    let d = gid j tv in
+    let key = (es * tcount) + d in
     if not (Hashtbl.mem dep_seen key) then begin
       Hashtbl.add dep_seen key ();
-      dep_count.(j - 1).(tv) <- dep_count.(j - 1).(tv) + 1;
-      match ev with
-      | 0, f -> fine_subs.(f) <- (j, tv) :: fine_subs.(f)
-      | jj, ti ->
-        let cur = try Hashtbl.find task_subs (jj, ti) with Not_found -> [] in
-        Hashtbl.replace task_subs (jj, ti) ((j, tv) :: cur)
+      dep_count.(d) <- dep_count.(d) + 1;
+      ibuf_push rec_src es;
+      ibuf_push rec_tgt d
     end
   in
   for u = 0 to nv - 1 do
@@ -189,19 +240,34 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
         if tv >= 0 then begin
           let tu = tov j u in
           if tu <> tv then begin
-            let ev =
+            let es =
               if mode = Coarse && j < h then begin
                 let pu = tov (j + 1) u and pv = tov (j + 1) v in
-                if pu >= 0 && pv >= 0 && pu <> pv then (j + 1, pu)
-                else (0, fine_id u)
+                if pu >= 0 && pv >= 0 && pu <> pv then fine_n + gid (j + 1) pu
+                else fine_id u
               end
-              else (0, fine_id u)
+              else fine_id u
             in
-            add_dep j tv ev
+            add_dep j tv es
           end
         end
       done
     done
+  done;
+  let n_rec = rec_src.len in
+  let subs_off = Array.make (n_events + 1) 0 in
+  for k = 0 to n_rec - 1 do
+    subs_off.(rec_src.buf.(k) + 1) <- subs_off.(rec_src.buf.(k) + 1) + 1
+  done;
+  for e = 0 to n_events - 1 do
+    subs_off.(e + 1) <- subs_off.(e) + subs_off.(e + 1)
+  done;
+  let subs_tgt = Array.make (max 1 n_rec) 0 in
+  let cursor = Array.sub subs_off 0 n_events in
+  for k = n_rec - 1 downto 0 do
+    let e = rec_src.buf.(k) in
+    subs_tgt.(cursor.(e)) <- rec_tgt.buf.(k);
+    cursor.(e) <- cursor.(e) + 1
   done;
 
   (* ---- machine state ---- *)
@@ -241,10 +307,22 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
   in
 
   (* ---- miss accounting ---- *)
-  let visited : (int * int, Is.t ref) Hashtbl.t = Hashtbl.create 1024 in
+  (* visited sets per global task id: one preallocated ref cell each, so
+     the drive loop's per-leaf per-level absorb allocates no tuples and
+     probes no hashtable (the former hot-path cost) *)
+  let visited = Array.init (max 1 tcount) (fun _ -> ref Is.empty) in
   let misses = Array.make h 0 in
   let total_miss_cost = ref 0 in
-  (* inclusive per-cache LRU, used in Lru accounting mode only *)
+  (* decoupled measurement mode: schedule under ρ costs while recording
+     the global (proc, footprint) trace, replayed post-run by the
+     sharded per-cache LRU ([Nd_mem.Shard_sim]) *)
+  let access_trace =
+    match sim_workers with
+    | Some _ -> Some (Nd_mem.Shard_sim.Trace.create ())
+    | None -> None
+  in
+  let use_lru = accounting = Lru && sim_workers = None in
+  (* inclusive per-cache LRU, used in inline Lru accounting mode only *)
   let lru_caches =
     lazy
       (Array.init h (fun i ->
@@ -280,7 +358,7 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
     done;
     !cost
   in
-  let atom_cost a =
+  let atom_cost proc a =
     (* serial execution cost of a level-1 task: work + per-level
        first-touch miss costs *)
     let node = task_node 1 a in
@@ -292,17 +370,12 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
       | Program.Leaf s ->
         cost := !cost + s.Strand.work;
         let fp = Strand.footprint s in
+        (match access_trace with
+        | Some tr -> Nd_mem.Shard_sim.Trace.push tr ~proc fp
+        | None -> ());
         for j = 1 to h do
           let tj = if j = 1 then a else atom_parent.(j).(a) in
-          let key = (j, tj) in
-          let set =
-            match Hashtbl.find_opt visited key with
-            | Some r -> r
-            | None ->
-              let r = ref Is.empty in
-              Hashtbl.add visited key r;
-              r
-          in
+          let set = visited.(gid j tj) in
           let fresh = Is.absorb set fp in
           if fresh > 0 then begin
             misses.(j - 1) <- misses.(j - 1) + fresh;
@@ -338,21 +411,28 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
     else anchor_at.(j + 1).(parent_task.(j - 1).(tv))
   in
   let enqueue_if_ready j tv =
-    if state.(j - 1).(tv) = Waiting && dep_count.(j - 1).(tv) = 0 then
+    let g = gid j tv in
+    if st.(g) = st_waiting && dep_count.(g) = 0 then
       match anchor_of_parent j tv with
       | Some a ->
-        state.(j - 1).(tv) <- Queued;
+        st.(g) <- st_queued;
         Queue.push tv a.a_queue;
         if traced then emit (Nd_trace.Event.Fire { target = tv; level = j });
         wake_all ()
       | None -> ()
   in
   let done_atoms = ref 0 in
+  (* satisfy every dependency subscribed to event [es] *)
+  let fire_subs es =
+    for k = subs_off.(es) to subs_off.(es + 1) - 1 do
+      let g = subs_tgt.(k) in
+      dep_count.(g) <- dep_count.(g) - 1;
+      let j = glev.(g) in
+      enqueue_if_ready j (g - goff.(j - 1))
+    done
+  in
   let rec fire_fine f =
-    List.iter (fun (j, tv) ->
-        dep_count.(j - 1).(tv) <- dep_count.(j - 1).(tv) - 1;
-        enqueue_if_ready j tv)
-      fine_subs.(f);
+    fire_subs f;
     for k = glue_off.(f) to glue_off.(f + 1) - 1 do
       let g = glue_tgt.(k) in
       glue_pred.(g) <- glue_pred.(g) - 1;
@@ -371,35 +451,27 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
              size = task_size a.a_level a.a_task })
   in
   let task_done j ti =
-    Hashtbl.remove visited (j, ti);
+    visited.(gid j ti) := Is.empty;
     if j >= 2 then begin
       (match anchor_at.(j).(ti) with
       | Some a ->
         release_anchor a;
         anchor_at.(j).(ti) <- None
       | None -> ());
-      match Hashtbl.find_opt task_subs (j, ti) with
-      | Some subs ->
-        List.iter
-          (fun (j', tv) ->
-            dep_count.(j' - 1).(tv) <- dep_count.(j' - 1).(tv) - 1;
-            enqueue_if_ready j' tv)
-          subs;
-        Hashtbl.remove task_subs (j, ti)
-      | None -> ()
+      fire_subs (fine_n + gid j ti)
     end;
     wake_all ()
   in
   let complete_atom a =
-    state.(0).(a) <- Done_state;
+    st.(a) <- st_done;
     incr done_atoms;
-    Hashtbl.remove visited (1, a);
+    visited.(a) := Is.empty;
     fire_fine a;
     for j = 2 to h do
       let tj = atom_parent.(j).(a) in
       atoms_in.(j).(tj) <- atoms_in.(j).(tj) - 1;
       if atoms_in.(j).(tj) = 0 then begin
-        state.(j - 1).(tj) <- Done_state;
+        st.(gid j tj) <- st_done;
         task_done j tj
       end
     done;
@@ -473,14 +545,14 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
             (Nd_trace.Event.Anchor_create
                { level = l; cache; task = ti'; size });
         (* enqueue already-ready children *)
-        List.iter
-          (fun child ->
-            if state.(l - 2).(child) = Waiting && dep_count.(l - 2).(child) = 0
-            then begin
-              state.(l - 2).(child) <- Queued;
-              Queue.push child a.a_queue
-            end)
-          children.(l).(ti');
+        for k = child_off.(l).(ti') to child_off.(l).(ti' + 1) - 1 do
+          let child = child_tgt.(l).(k) in
+          let g = gid (l - 1) child in
+          if st.(g) = st_waiting && dep_count.(g) = 0 then begin
+            st.(g) <- st_queued;
+            Queue.push child a.a_queue
+          end
+        done;
         wake_all ();
         Some a
       end
@@ -523,13 +595,13 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
         let node = task_node child_level tv in
         let size = task_size child_level tv in
         if size <= m_of.(0) || Program.children program node = [||] then begin
-          state.(child_level - 1).(tv) <- Active;
+          st.(gid child_level tv) <- st_active;
           result := Some (`Run (child_level, tv))
         end
         else
           match try_anchor child_level tv p with
           | Some sub ->
-            state.(child_level - 1).(tv) <- Active;
+            st.(gid child_level tv) <- st_active;
             result := Some (`Descend sub)
           | None -> Queue.push tv a.a_queue
       done;
@@ -580,13 +652,10 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
       | Some (_level, tv) ->
         (* the node is also a level-1 task: execute it serially *)
         let a1 = ton 1 (task_node _level tv) in
-        state.(0).(a1) <- Active;
+        st.(a1) <- st_active;
         let m0 = if traced then Array.copy misses else [||] in
         let d =
-          max 1
-            (match accounting with
-            | Rho -> atom_cost a1
-            | Lru -> atom_cost_lru p a1)
+          max 1 (if use_lru then atom_cost_lru p a1 else atom_cost p a1)
         in
         if traced then begin
           let node = task_node 1 a1 in
@@ -618,15 +687,34 @@ let run ?(sigma = 1. /. 3.) ?(mode = Coarse) ?(accounting = Rho)
     raise
       (Deadlock
          (Printf.sprintf "completed %d of %d level-1 tasks" !done_atoms n1));
+  let misses, total_miss_cost, miss_table =
+    match (sim_workers, access_trace) with
+    | Some w, Some tr ->
+      (* replace the drive loop's ρ accounting with the replayed
+         per-cache LRU tables; time/busy stay the ρ-cost schedule *)
+      let mt = Nd_mem.Shard_sim.replay ~workers:w ~machine tr in
+      ( Nd_mem.Miss_table.level_totals mt,
+        Nd_mem.Miss_table.total_cost mt ~miss_cost:(fun level ->
+            Pmh.miss_cost machine ~level),
+        Some mt )
+    | _ ->
+      let mt =
+        if use_lru then
+          Some (Nd_mem.Miss_table.of_sims (Lazy.force lru_caches))
+        else None
+      in
+      (misses, !total_miss_cost, mt)
+  in
   {
     time = !makespan;
     work = Dag.work dag;
     misses;
-    miss_cost = !total_miss_cost;
+    miss_cost = total_miss_cost;
     space_hwm = !space_hwm;
     busy = !busy;
     n_anchors = !n_anchors;
     n_procs;
+    miss_table;
   }
 
 module Shared : Scheduler.S = struct
@@ -649,5 +737,6 @@ module Shared : Scheduler.S = struct
       space_hwm = s.space_hwm;
       busy = s.busy;
       n_procs = s.n_procs;
+      miss_table = s.miss_table;
     }
 end

@@ -46,13 +46,34 @@ type stats = {
   busy : int;  (** total processor busy time *)
   n_anchors : int;  (** anchors created above level 1 *)
   n_procs : int;
+  miss_table : Nd_mem.Miss_table.t option;
+      (** per-(level, cache-instance) miss counts: [Some] under [Lru]
+          accounting (snapshot of the inline simulators) and under
+          [sim_workers] replay (the merged shard tables); [None] under
+          plain [Rho], whose first-touch charges are per maximal-task
+          instance, not per cache *)
 }
 
 exception Deadlock of string
 
-(** [run ?sigma ?mode ?alloc_alpha ?tracer program machine] simulates and
-    returns the stats.  [sigma] defaults to 1/3 (Lemma 6); [alloc_alpha]
-    is the α' of the allocation function (default 1).
+(** [run ?sigma ?mode ?alloc_alpha ?sim_workers ?tracer program machine]
+    simulates and returns the stats.  [sigma] defaults to 1/3 (Lemma 6);
+    [alloc_alpha] is the α' of the allocation function (default 1).
+
+    [sim_workers] selects the {e decoupled measurement mode}: the drive
+    loop schedules under ρ costs (as in [Rho] accounting — [accounting]
+    is ignored) while recording the global (processor, footprint) access
+    trace in event order; afterwards the trace is replayed against
+    per-cache inclusive LRU simulators by {!Nd_mem.Shard_sim.replay}
+    with that many workers, and [misses]/[miss_cost]/[miss_table] are
+    replaced by the replayed per-cache tables.  [time]/[busy] remain the
+    ρ-cost schedule.  The replayed tables are bit-identical at every
+    worker count (and to a serial replay), which the differential
+    harness in [test_mem] and the oracle's sim-shard stage enforce.
+    Inline [Lru] accounting cannot be parallelized this way because its
+    miss counts feed atom durations and hence the schedule itself; on a
+    1-processor machine the two coincide (atom order is then
+    duration-independent) and the tests check that identity too.
 
     With [tracer] (one ring per simulated processor), the run emits:
     strand begin/end per executed level-1 task (the [vertex] field holds
@@ -68,6 +89,7 @@ val run :
   ?mode:mode ->
   ?accounting:accounting ->
   ?alloc_alpha:float ->
+  ?sim_workers:int ->
   ?tracer:Nd_trace.Collector.t ->
   Nd.Program.t ->
   Nd_pmh.Pmh.t ->

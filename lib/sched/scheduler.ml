@@ -7,6 +7,7 @@ type stats = {
   space_hwm : int;
   busy : int;
   n_procs : int;
+  miss_table : Nd_mem.Miss_table.t option;
 }
 
 module type S = sig

@@ -30,6 +30,10 @@ type stats = {
           the quantity their boundedness invariants cap. *)
   busy : int;  (** total processor busy time *)
   n_procs : int;
+  miss_table : Nd_mem.Miss_table.t option;
+      (** per-(level, cache-instance) miss counts when the scheduler
+          simulates per-cache LRU ([None] for cache-blind schedulers
+          and for SB's ρ accounting); [misses] are its level totals *)
 }
 
 (** A zoo member: a display name and one entry point with the common

@@ -247,6 +247,7 @@ let run ?seed:_ ?(comm_delay = 0) ?budget program machine =
     space_hwm = !space_hwm;
     busy = !busy;
     n_procs;
+    miss_table = Some (Nd_mem.Miss_table.of_sims caches);
   }
 
 module Shared : Scheduler.S = struct

@@ -16,6 +16,7 @@ type stats = {
   steals : int;
   busy : int;
   n_procs : int;
+  miss_table : Nd_mem.Miss_table.t;
 }
 
 let utilization s =
@@ -223,6 +224,7 @@ let run ?(seed = 0x5eed) ?(steal_cost = 2)
     steals = !steals;
     busy = !busy;
     n_procs;
+    miss_table = Nd_mem.Miss_table.of_sims caches;
   }
 
 module Shared : Scheduler.S = struct
@@ -241,5 +243,6 @@ module Shared : Scheduler.S = struct
       space_hwm = s.space_hwm;
       busy = s.busy;
       n_procs = s.n_procs;
+      miss_table = Some s.miss_table;
     }
 end

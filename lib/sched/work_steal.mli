@@ -20,6 +20,9 @@ type stats = {
   steals : int;
   busy : int;
   n_procs : int;
+  miss_table : Nd_mem.Miss_table.t;
+      (** per-(level, cache-instance) miss counts; [misses] are its
+          level totals *)
 }
 
 (** [run ?seed ?steal_cost ?tracer program machine] — simulate;

@@ -204,6 +204,137 @@ let test_interval_equiv_workloads () =
         [ 16; 64; 256 ])
     (Nd_experiments.Workloads.names ())
 
+(* ------------------- sharded replay differential ------------------- *)
+
+module Mt = Nd_mem.Miss_table
+module Shard = Nd_mem.Shard_sim
+module Pmh = Nd_pmh.Pmh
+
+(* random machine + trace derived from a Prng seed, so the QCheck
+   property shrinks over (and replays from) a single integer *)
+let build_case seed =
+  let rng = Prng.create seed in
+  let n_levels = 1 + Prng.int rng 3 in
+  let root_fanout = 1 + Prng.int rng 3 in
+  let rec levels i size acc =
+    if i = n_levels then List.rev acc
+    else
+      let size = (size * (2 + Prng.int rng 6)) + Prng.int rng 3 in
+      levels (i + 1) size
+        ({ Pmh.size; fanout = 1 + Prng.int rng 3; miss_cost = 1 + Prng.int rng 16 }
+        :: acc)
+  in
+  let machine = Pmh.create ~root_fanout (levels 0 (2 + Prng.int rng 8) []) in
+  let n_procs = Pmh.n_procs machine in
+  let trace = Shard.Trace.create () in
+  let len = Prng.int rng 200 in
+  for _ = 1 to len do
+    let proc = Prng.int rng n_procs in
+    let n_frags = 1 + Prng.int rng 3 in
+    let frags =
+      List.init n_frags (fun _ ->
+          let lo = Prng.int rng 128 in
+          (lo, lo + 1 + Prng.int rng 48))
+    in
+    Shard.Trace.push trace ~proc (Is.of_intervals frags)
+  done;
+  (machine, trace)
+
+(* the bit-identity chain the sharded simulation rests on: sharded
+   replay at any worker count = serial interval replay = word-exact
+   replay, on arbitrary machines and traces.  At least 500 cases even
+   at the default NDSIM_STRESS_ITERS (the acceptance floor). *)
+let replay_differential seed =
+  let machine, trace = build_case seed in
+  let ref_intv = Shard.replay_serial ~machine trace in
+  let ref_word = Shard.replay_serial ~impl:Cs.Word ~machine trace in
+  if not (Mt.equal ref_intv ref_word) then
+    QCheck.Test.fail_reportf "seed %d: serial interval <> word-exact" seed;
+  List.iter
+    (fun w ->
+      List.iter
+        (fun impl ->
+          let t = Shard.replay ~impl ~workers:w ~machine trace in
+          if not (Mt.equal ref_intv t) then
+            QCheck.Test.fail_reportf "seed %d: w=%d diverges from serial" seed w)
+        [ Cs.Interval; Cs.Word ])
+    [ 1; 2; 8 ];
+  true
+
+let test_replay_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~count:(max 500 (167 * stress_iters))
+       ~name:"sharded = serial = word-exact (random machines)"
+       QCheck.(int_bound 0x3FFFFFFF)
+       replay_differential)
+
+(* every shipped workload family at its smallest sweep size: leaves in
+   program order, routed round-robin across the desktop machine's
+   processors — the replayed tables must be bit-identical across worker
+   counts and cache-sim implementations *)
+let test_replay_workload_families () =
+  let machine = Pmh.desktop () in
+  let n_procs = Pmh.n_procs machine in
+  List.iter
+    (fun name ->
+      let fam = Nd_experiments.Workloads.find name in
+      let n = List.hd fam.Nd_experiments.Workloads.sizes in
+      let p = compile (Nd_experiments.Workloads.build ~n fam ~seed:7) in
+      let lo, hi = Program.leaf_range p (Program.root p) in
+      let trace = Shard.Trace.create () in
+      for i = lo to hi - 1 do
+        match Program.kind_of p (Program.leaf_node p i) with
+        | Program.Leaf s ->
+          Shard.Trace.push trace ~proc:(i mod n_procs) (Strand.footprint s)
+        | Program.Seq | Program.Par | Program.Fire _ -> ()
+      done;
+      let reference = Shard.replay_serial ~machine trace in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun impl ->
+              let t = Shard.replay ~impl ~workers:w ~machine trace in
+              if not (Mt.equal reference t) then
+                Alcotest.failf "%s (n=%d): w=%d diverges from serial replay"
+                  name n w)
+            [ Cs.Interval; Cs.Word ])
+        [ 1; 2; 8 ])
+    (Nd_experiments.Workloads.names ())
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* the merge the acceptance criterion hinges on: a dropped or
+   double-counted shard must raise, never mis-count *)
+let test_merge_partition_checked () =
+  let n_caches = [| 2; 1 |] in
+  let mk_src cells =
+    let s = Mt.create ~n_caches in
+    List.iter (fun (l, c, n) -> Mt.add s ~level:l ~cache:c n) cells;
+    s
+  in
+  let into = Mt.create ~n_caches in
+  Mt.merge_exclusive ~into ~claims:[| (1, 0) |] (mk_src [ (1, 0, 5) ]);
+  Mt.merge_exclusive ~into
+    ~claims:[| (1, 1); (2, 0) |]
+    (mk_src [ (1, 1, 7); (2, 0, 2) ]);
+  Mt.assert_complete into;
+  Alcotest.(check int) "cell (1,0)" 5 (Mt.get into ~level:1 ~cache:0);
+  Alcotest.(check (array int)) "level totals" [| 12; 2 |] (Mt.level_totals into);
+  Alcotest.(check int) "total cost" ((12 * 2) + (2 * 8))
+    (Mt.total_cost into ~miss_cost:(fun level -> if level = 1 then 2 else 8));
+  expect_invalid "double-counted shard" (fun () ->
+      Mt.merge_exclusive ~into ~claims:[| (1, 0) |] (mk_src [ (1, 0, 1) ]));
+  let into2 = Mt.create ~n_caches in
+  expect_invalid "shard wrote outside its claim" (fun () ->
+      Mt.merge_exclusive ~into:into2 ~claims:[| (1, 0) |] (mk_src [ (1, 1, 3) ]));
+  let into3 = Mt.create ~n_caches in
+  Mt.merge_exclusive ~into:into3 ~claims:[| (1, 0) |] (mk_src [ (1, 0, 1) ]);
+  expect_invalid "dropped shard" (fun () -> Mt.assert_complete into3)
+
 (* ------------------------------ ECC -------------------------------- *)
 
 let test_ecc_alpha_zero () =
@@ -274,6 +405,14 @@ let () =
             test_interval_equiv_random;
           Alcotest.test_case "workload q1 equivalence" `Quick
             test_interval_equiv_workloads;
+        ] );
+      ( "shard_sim",
+        [
+          test_replay_differential;
+          Alcotest.test_case "workload families bit-identical" `Quick
+            test_replay_workload_families;
+          Alcotest.test_case "merge is partition-checked" `Quick
+            test_merge_partition_checked;
         ] );
       ( "ecc",
         [

@@ -66,6 +66,48 @@ let test_overhead_vh () =
   Alcotest.check_raises "bad k" (Invalid_argument "Pmh.overhead_vh: k not in (0,1)")
     (fun () -> ignore (Pmh.overhead_vh desktop ~alpha:1. ~k:1.))
 
+let test_shard_pairs () =
+  (* every (level, cache) pair of the machine appears in exactly one
+     group, groups are non-empty and sorted, and the partition is a pure
+     function of (machine, shards) *)
+  List.iter
+    (fun machine ->
+      let all = ref [] in
+      for level = Pmh.n_levels machine downto 1 do
+        for cache = Pmh.n_caches machine ~level - 1 downto 0 do
+          all := (level, cache) :: !all
+        done
+      done;
+      let all = List.sort compare !all in
+      let n_pairs = List.length all in
+      List.iter
+        (fun shards ->
+          let groups = Pmh.shard_pairs machine ~shards in
+          Alcotest.(check int)
+            (Printf.sprintf "group count (shards=%d)" shards)
+            (min shards n_pairs) (Array.length groups);
+          Array.iter
+            (fun g ->
+              if Array.length g = 0 then Alcotest.fail "empty group";
+              let l = Array.to_list g in
+              if List.sort compare l <> l then
+                Alcotest.fail "group not sorted by (level, cache)")
+            groups;
+          let flattened =
+            List.sort compare
+              (List.concat_map Array.to_list (Array.to_list groups))
+          in
+          if flattened <> all then
+            Alcotest.failf "shards=%d: not an exact partition (%d pairs vs %d)"
+              shards (List.length flattened) n_pairs;
+          if groups <> Pmh.shard_pairs machine ~shards then
+            Alcotest.fail "not deterministic")
+        [ 1; 2; 3; 8; 32 ];
+      Alcotest.check_raises "shards < 1"
+        (Invalid_argument "Pmh.shard_pairs: shards < 1") (fun () ->
+          ignore (Pmh.shard_pairs machine ~shards:0)))
+    [ desktop; Pmh.server (); Pmh.flat ~procs:3 ~m:64 ~miss_cost:2 ]
+
 let () =
   Alcotest.run "nd_pmh"
     [
@@ -78,5 +120,7 @@ let () =
           Alcotest.test_case "cumulative costs" `Quick test_cum_cost;
           Alcotest.test_case "perfect time (Eq. 22)" `Quick test_perfect_time;
           Alcotest.test_case "overhead v_h" `Quick test_overhead_vh;
+          Alcotest.test_case "shard_pairs exact partition" `Quick
+            test_shard_pairs;
         ] );
     ]

@@ -120,6 +120,85 @@ let test_repeated_runs () =
     Alcotest.(check bool) "correct" true (w.Workload.check () < 1e-8)
   done
 
+(* --------------------------- parallel_for -------------------------- *)
+
+exception Boom of int
+
+let test_pfor_exactly_once () =
+  List.iter
+    (fun workers ->
+      let n = 500 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Executor.parallel_for ~workers n (fun _ i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i c ->
+          if Atomic.get c <> 1 then
+            Alcotest.failf "workers=%d: i=%d ran %d times" workers i
+              (Atomic.get c))
+        hits)
+    [ 1; 2; 8 ]
+
+let test_pfor_exception_propagates () =
+  (* an exception in one iteration must surface to the caller — with its
+     backtrace carried across the domain join — and must not corrupt the
+     other iterations: claimed ones complete exactly once, unclaimed
+     ones are abandoned whole (never half-run) *)
+  Printexc.record_backtrace true;
+  List.iter
+    (fun workers ->
+      let n = 100 in
+      let started = Array.init n (fun _ -> Atomic.make 0) in
+      let finished = Array.init n (fun _ -> Atomic.make 0) in
+      (match
+         Executor.parallel_for ~workers n (fun _ i ->
+             Atomic.incr started.(i);
+             if i = 37 then raise (Boom i);
+             Atomic.incr finished.(i))
+       with
+      | () -> Alcotest.failf "workers=%d: expected Boom" workers
+      | exception Boom 37 ->
+        if workers > 1 && Printexc.raw_backtrace_length (Printexc.get_raw_backtrace ()) = 0
+        then Alcotest.failf "workers=%d: backtrace lost across join" workers
+      | exception e ->
+        Alcotest.failf "workers=%d: wrong exception %s" workers
+          (Printexc.to_string e));
+      Array.iteri
+        (fun i c ->
+          let s = Atomic.get c and f = Atomic.get finished.(i) in
+          if s > 1 then
+            Alcotest.failf "workers=%d: i=%d started %d times" workers i s;
+          if i = 37 then begin
+            if f <> 0 then Alcotest.failf "workers=%d: raiser finished" workers
+          end
+          else if s <> f then
+            Alcotest.failf "workers=%d: i=%d started %d but finished %d"
+              workers i s f)
+        started)
+    [ 1; 2; 8 ]
+
+let test_pfor_nested () =
+  (* a parallel_for body may itself call parallel_for: each call spawns
+     its own domains, so nesting composes (the sharded cache replay runs
+     inside suite experiments that are themselves parallel_for jobs) *)
+  let outer = 4 and inner = 8 in
+  let hits = Array.init (outer * inner) (fun _ -> Atomic.make 0) in
+  Executor.parallel_for ~workers:2 outer (fun _ o ->
+      Executor.parallel_for ~workers:2 inner (fun _ i ->
+          Atomic.incr hits.((o * inner) + i)));
+  Array.iteri
+    (fun k c ->
+      if Atomic.get c <> 1 then
+        Alcotest.failf "nested cell %d ran %d times" k (Atomic.get c))
+    hits;
+  (* an inner exception unwinds through both levels *)
+  match
+    Executor.parallel_for ~workers:2 outer (fun _ _ ->
+        Executor.parallel_for ~workers:2 inner (fun _ i ->
+            if i = 3 then raise (Boom 3)))
+  with
+  | () -> Alcotest.fail "expected Boom through nesting"
+  | exception Boom 3 -> ()
+
 let () =
   Alcotest.run "nd_runtime"
     [
@@ -135,5 +214,12 @@ let () =
           Alcotest.test_case "dataflow correct" `Quick test_dataflow_correct;
           Alcotest.test_case "fork-join correct" `Quick test_fork_join_correct;
           Alcotest.test_case "repeated runs" `Quick test_repeated_runs;
+        ] );
+      ( "parallel_for",
+        [
+          Alcotest.test_case "exactly once" `Quick test_pfor_exactly_once;
+          Alcotest.test_case "exception propagates with backtrace" `Quick
+            test_pfor_exception_propagates;
+          Alcotest.test_case "nested calls compose" `Quick test_pfor_nested;
         ] );
     ]

@@ -145,6 +145,79 @@ let test_sb_lru_accounting () =
       done)
     (workloads ())
 
+(* --------------------- sharded replay measurement ------------------ *)
+
+let miss_table_of name s =
+  match s.Sb.miss_table with
+  | Some t -> t
+  | None -> Alcotest.failf "%s: expected a miss table" name
+
+let test_sb_replay_workers_identical () =
+  (* decoupled measurement mode: the replayed per-cache tables (and
+     their level totals and cost) are bit-identical at every sim-worker
+     count, while the schedule itself is unchanged *)
+  let machine = small_machine ~top:2 () in
+  List.iter
+    (fun (name, p) ->
+      let base = Sb.run ~sim_workers:1 p machine in
+      let bt = miss_table_of name base in
+      List.iter
+        (fun w ->
+          let s = Sb.run ~sim_workers:w p machine in
+          Alcotest.(check int) (Printf.sprintf "%s w=%d: time" name w)
+            base.Sb.time s.Sb.time;
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s w=%d: level misses" name w)
+            base.Sb.misses s.Sb.misses;
+          Alcotest.(check int)
+            (Printf.sprintf "%s w=%d: miss cost" name w)
+            base.Sb.miss_cost s.Sb.miss_cost;
+          if not (Nd_mem.Miss_table.equal bt (miss_table_of name s)) then
+            Alcotest.failf "%s w=%d: miss table differs from serial replay"
+              name w)
+        [ 2; 8 ])
+    (workloads ())
+
+let test_sb_replay_schedule_is_rho () =
+  (* sim_workers changes only the measurement: the drive loop charges
+     rho costs, so time/busy/anchors equal a plain Rho run *)
+  let machine = small_machine () in
+  List.iter
+    (fun (name, p) ->
+      let rho = Sb.run p machine in
+      let rep = Sb.run ~sim_workers:2 p machine in
+      Alcotest.(check int) (name ^ ": time") rho.Sb.time rep.Sb.time;
+      Alcotest.(check int) (name ^ ": busy") rho.Sb.busy rep.Sb.busy;
+      Alcotest.(check int) (name ^ ": anchors") rho.Sb.n_anchors
+        rep.Sb.n_anchors)
+    (workloads ())
+
+let test_sb_replay_single_proc_matches_inline () =
+  (* with one processor the atom order is duration-independent, so the
+     recorded trace equals the inline execution order and the replayed
+     tables must coincide with inline Lru accounting exactly *)
+  let machine =
+    Pmh.create ~root_fanout:1
+      [
+        { Pmh.size = 64; fanout = 1; miss_cost = 2 };
+        { Pmh.size = 512; fanout = 1; miss_cost = 8 };
+      ]
+  in
+  List.iter
+    (fun (name, p) ->
+      let inl = Sb.run ~accounting:Sb.Lru p machine in
+      let rep = Sb.run ~sim_workers:4 p machine in
+      Alcotest.(check (array int)) (name ^ ": misses") inl.Sb.misses
+        rep.Sb.misses;
+      Alcotest.(check int) (name ^ ": miss cost") inl.Sb.miss_cost
+        rep.Sb.miss_cost;
+      if
+        not
+          (Nd_mem.Miss_table.equal (miss_table_of name inl)
+             (miss_table_of name rep))
+      then Alcotest.failf "%s: replay table differs from inline LRU" name)
+    (workloads ())
+
 (* --------------------------- work stealing ------------------------- *)
 
 let test_ws_completes () =
@@ -181,6 +254,7 @@ let test_utilization_degenerate () =
       busy = 0;
       n_anchors = 0;
       n_procs = 4;
+      miss_table = None;
     }
   in
   Alcotest.(check (float 0.)) "sb zero time" 0. (Sb.utilization sb_zero);
@@ -196,6 +270,7 @@ let test_utilization_degenerate () =
       steals = 0;
       busy = 0;
       n_procs = 4;
+      miss_table = Nd_mem.Miss_table.create ~n_caches:[| 1 |];
     }
   in
   Alcotest.(check (float 0.)) "ws zero time" 0. (Ws.utilization ws_zero);
@@ -336,6 +411,12 @@ let () =
           Alcotest.test_case "ND not slower than NP" `Quick test_sb_nd_not_slower;
           Alcotest.test_case "fine not slower than coarse" `Quick
             test_sb_fine_not_slower;
+          Alcotest.test_case "replay workers bit-identical" `Quick
+            test_sb_replay_workers_identical;
+          Alcotest.test_case "replay schedule is rho" `Quick
+            test_sb_replay_schedule_is_rho;
+          Alcotest.test_case "1-proc replay = inline LRU" `Quick
+            test_sb_replay_single_proc_matches_inline;
           Alcotest.test_case "LRU accounting <= rho" `Quick
             test_sb_lru_accounting;
         ] );

@@ -81,12 +81,19 @@ let test_hist_sync_hammer () =
   let reader =
     Domain.spawn (fun () ->
         let checked = ref 0 in
-        while not (Atomic.get stop) do
+        let check_once () =
           let s = Histogram.Sync.snapshot h in
           if Histogram.count s <> Histogram.bucket_total s then
             Alcotest.failf "torn snapshot: count %d <> bucket total %d"
               (Histogram.count s) (Histogram.bucket_total s);
           incr checked
+        in
+        (* at least one snapshot unconditionally: on a single-core host
+           the writers can finish (and [stop] be set) before this domain
+           is first scheduled, which used to fail the progress check *)
+        check_once ();
+        while not (Atomic.get stop) do
+          check_once ()
         done;
         !checked)
   in
@@ -522,10 +529,12 @@ let test_decompose_hammer () =
 
 (* --------------------------- end-to-end ----------------------------- *)
 
-let sock_path =
-  Filename.concat
-    (Filename.get_temp_dir_name ())
-    (Printf.sprintf "ndsim-test-%d.sock" (Unix.getpid ()))
+(* each test gets its own socket in a fresh private directory, so tests
+   (and concurrently running test processes) can never collide on a
+   shared, pid-keyed path *)
+let fresh_sock_path tag =
+  let dir = Filename.temp_dir "ndsim-test" "" in
+  Filename.concat dir (tag ^ ".sock")
 
 let wait_for_socket path =
   let rec go n =
@@ -543,6 +552,7 @@ let member_exn name j =
   | None -> Alcotest.failf "response lacks %S: %s" name (Json.to_string j)
 
 let test_server_end_to_end () =
+  let sock_path = fresh_sock_path "e2e" in
   let cfg =
     {
       (Server.default_config (P.Unix_path sock_path)) with
@@ -607,6 +617,46 @@ let test_server_end_to_end () =
   Thread.join server;
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock_path)
 
+(* regression for the shared-socket-path isolation bug: two servers in
+   the same process (or two test processes on one machine) must be able
+   to run side by side, each on its own temp-dir socket, without one
+   accepting the other's clients or unlinking the other's socket *)
+let test_two_servers_coexist () =
+  let start tag =
+    let path = fresh_sock_path tag in
+    let cfg =
+      {
+        (Server.default_config (P.Unix_path path)) with
+        Server.pool_sizes = [ ("analyze", 1); ("simulate", 1); ("fuzz", 1) ];
+        quiet = true;
+      }
+    in
+    let thread = Thread.create (fun () -> Server.run cfg) () in
+    wait_for_socket path;
+    (path, thread)
+  in
+  let path_a, thread_a = start "a" in
+  let path_b, thread_b = start "b" in
+  Alcotest.(check bool) "distinct sockets" false (path_a = path_b);
+  let conn_a = Client.connect (P.Unix_path path_a) in
+  let conn_b = Client.connect (P.Unix_path path_b) in
+  Alcotest.(check bool) "a pongs" true
+    (member_exn "pong" (Client.call_exn conn_a P.Ping) = Json.Bool true);
+  Alcotest.(check bool) "b pongs" true
+    (member_exn "pong" (Client.call_exn conn_b P.Ping) = Json.Bool true);
+  (* shutting down a must leave b serving on its own socket *)
+  ignore (Client.call_exn conn_a P.Shutdown);
+  Client.close conn_a;
+  Thread.join thread_a;
+  Alcotest.(check bool) "a unlinked" false (Sys.file_exists path_a);
+  Alcotest.(check bool) "b still listening" true (Sys.file_exists path_b);
+  Alcotest.(check bool) "b still pongs" true
+    (member_exn "pong" (Client.call_exn conn_b P.Ping) = Json.Bool true);
+  ignore (Client.call_exn conn_b P.Shutdown);
+  Client.close conn_b;
+  Thread.join thread_b;
+  Alcotest.(check bool) "b unlinked" false (Sys.file_exists path_b)
+
 let () =
   Alcotest.run "nd_serve"
     [
@@ -664,5 +714,9 @@ let () =
           Alcotest.test_case "multi-domain hammer" `Quick test_decompose_hammer;
         ] );
       ( "server",
-        [ Alcotest.test_case "end-to-end" `Quick test_server_end_to_end ] );
+        [
+          Alcotest.test_case "end-to-end" `Quick test_server_end_to_end;
+          Alcotest.test_case "two servers coexist" `Quick
+            test_two_servers_coexist;
+        ] );
     ]
