@@ -122,6 +122,11 @@ let race_cmd =
         exit 1
     else
       match Nd_dag.Race.find_races ~limit:16 dag with
+      | exception Nd_dag.Race.Limit_exceeded { vertices; limit } ->
+        die_usage
+          "race: %d vertices exceeds the reachability cap %d; shrink -n or \
+           raise NDSIM_RACE_MAX (or use 'ndsim lint', which has no cap)"
+          vertices limit
       | [] -> Format.printf "race-free (%d vertices, %d edges)@."
                 (Nd_dag.Dag.n_vertices dag) (Nd_dag.Dag.n_edges dag)
       | races ->
@@ -135,6 +140,25 @@ let race_cmd =
           $ explain_arg $ variant_arg)
 
 (* ------------------------------ lint ------------------------------- *)
+
+(* shared by lint and analyze: findings below this severity are dropped
+   from the output (and from the exit-code decision) *)
+let min_severity_arg =
+  Arg.(value & opt string "warning"
+       & info [ "min-severity" ] ~docv:"SEV"
+           ~doc:"Drop findings below this severity ($(b,warning) keeps \
+                 everything, $(b,error) keeps only errors).")
+
+let strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Exit 1 when any finding survives the severity filter \
+                 (warnings fail the run, not just errors).")
+
+let parse_min_severity = function
+  | "warning" -> Nd_analyze.Lint.Warning
+  | "error" -> Nd_analyze.Lint.Error
+  | s -> die_usage "bad --min-severity %s (want warning|error)" s
 
 let lint_cmd =
   let module Lint = Nd_analyze.Lint in
@@ -162,7 +186,8 @@ let lint_cmd =
     | "fw1d" -> Fw1d.workload ~variant:`Literal ~n ~base ~seed ()
     | other -> die_usage "no literal variant for %s" other
   in
-  let run algo n base seed all json literal =
+  let run algo n base seed all json literal strict min_severity =
+    let min_severity = parse_min_severity min_severity in
     let targets =
       if all then
         List.map
@@ -176,7 +201,9 @@ let lint_cmd =
     let results =
       List.map
         (fun w ->
-          (w, Lint.lint_all ~registry:w.Workload.registry w.Workload.tree))
+          ( w,
+            Lint.filter_min_severity min_severity
+              (Lint.lint_all ~registry:w.Workload.registry w.Workload.tree) ))
         targets
     in
     if json then
@@ -202,14 +229,145 @@ let lint_cmd =
             (count Lint.Warning);
           List.iter (fun f -> Format.printf "  %a@." Lint.pp_finding f) fs)
         results;
-    if List.exists (fun (_, fs) -> Lint.has_errors fs) results then exit 1
+    if List.exists (fun (_, fs) -> Lint.has_errors fs) results then exit 1;
+    if strict && List.exists (fun (_, fs) -> fs <> []) results then exit 1
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Static analysis: fire-rule linter, footprint conflicts, and \
-             ESP-bags race detection (rule catalogue ND001-ND009).")
+             ESP-bags race detection (rule catalogue ND001-ND013).")
     Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ all_arg
-          $ json_arg $ variant_arg)
+          $ json_arg $ variant_arg $ strict_arg $ min_severity_arg)
+
+(* ----------------------------- analyze ----------------------------- *)
+
+let analyze_cmd =
+  let module Cost = Nd_analyze.Cost in
+  let module Lint = Nd_analyze.Lint in
+  let module Json = Nd_util.Json in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Analyze every algorithm family at its smallest sweep size.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit report, certification and findings as \
+                                 JSON on stdout.")
+  in
+  let top_arg =
+    Arg.(value & opt int 1
+         & info [ "top" ] ~docv:"K"
+             ~doc:"Top-level cache count of the PMH the certification and \
+                   ND011/ND012 checks run against (procs = 16K).")
+  in
+  let no_certify_arg =
+    Arg.(value & flag
+         & info [ "no-certify" ]
+             ~doc:"Skip the Theorem-1 certification (which replays the \
+                   space-bounded scheduler); keep only the O(tree) static \
+                   pass.")
+  in
+  let run algo n base seed np all top json no_certify strict min_severity =
+    let min_severity = parse_min_severity min_severity in
+    let targets =
+      if all then
+        List.map
+          (fun fam ->
+            let n = List.hd fam.Nd_experiments.Workloads.sizes in
+            Nd_experiments.Workloads.build ~n fam ~seed)
+          Nd_experiments.Workloads.all
+      else [ build_workload algo n base seed ]
+    in
+    let machine = sim_machine top in
+    let procs = Pmh.n_procs machine in
+    (* the ND010 sweep needs only the growth trend, and the rewriting is
+       linear in the fire-edge count — which explodes at the largest
+       sweep sizes (mm n=64 b=2 resolves ~7M fire edges) — so three
+       smallest sizes buy the asymptotic judgment at interactive cost *)
+    let sweep w =
+      match Nd_experiments.Workloads.find w.Workload.name with
+      | fam ->
+        let sizes = fam.Nd_experiments.Workloads.sizes in
+        let sizes = List.filteri (fun i _ -> i < 3) sizes in
+        Lint.lint_span_sweep ~subject:w.Workload.name
+          ~build:(fun n ->
+            let w' = Nd_experiments.Workloads.build ~n fam ~seed in
+            (w'.Workload.registry, w'.Workload.tree))
+          sizes
+      | exception Not_found -> []
+    in
+    let analyze_one w =
+      let p = Workload.compile ~mode:(mode_of np) w in
+      let cost = Cost.of_program p in
+      let has_fires =
+        (not np) && Nd.Spawn_tree.fire_types w.Workload.tree <> []
+      in
+      let findings =
+        Lint.filter_min_severity min_severity
+          (Lint.lint_cost ~machine ~procs ~has_fires cost @ sweep w)
+      in
+      let cert =
+        if no_certify then None else Some (Cost.certify_theorem1 p machine)
+      in
+      (w, cost, cert, findings)
+    in
+    let results = List.map analyze_one targets in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.List
+              (List.map
+                 (fun (w, cost, cert, fs) ->
+                   Json.Obj
+                     ([
+                        ("algo", Json.String w.Workload.name);
+                        ("n", Json.Int w.Workload.n);
+                        ("base", Json.Int w.Workload.base);
+                        ("np", Json.Bool np);
+                        ("top", Json.Int top);
+                        ("report", Cost.report_to_json (Cost.report cost));
+                      ]
+                     @ (match cert with
+                       | Some c ->
+                         [ ("certification", Cost.certification_to_json c) ]
+                       | None -> [])
+                     @ [ ("findings", Lint.to_json fs) ]))
+                 results)))
+    else
+      List.iter
+        (fun (w, cost, cert, fs) ->
+          Format.printf "%s n=%d base=%d (%s, top=%d):@." w.Workload.name
+            w.Workload.n w.Workload.base
+            (Workload.mode_name (mode_of np))
+            top;
+          Format.printf "  %a@." Cost.pp_report (Cost.report cost);
+          (match cert with
+          | Some c -> Format.printf "  %a@." Cost.pp_certification c
+          | None -> ());
+          List.iter (fun f -> Format.printf "  %a@." Lint.pp_finding f) fs)
+        results;
+    if
+      List.exists
+        (fun (_, _, cert, _) ->
+          match cert with Some c -> not c.Cost.certified | None -> false)
+        results
+    then exit 1;
+    if List.exists (fun (_, _, _, fs) -> Lint.has_errors fs) results then
+      exit 1;
+    if strict && List.exists (fun (_, _, _, fs) -> fs <> []) results then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Structural cost analysis: one O(tree) pass computing work, \
+             span, peak footprint and the serial cache complexity Q* \
+             without materializing the DAG, plus Theorem-1 certification \
+             (SB per-level misses <= Q*(sigma*M_j)) and the asymptotic \
+             lint checks ND010-ND013.")
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg
+          $ all_arg $ top_arg $ json_arg $ no_certify_arg $ strict_arg
+          $ min_severity_arg)
 
 (* ------------------------------- sb -------------------------------- *)
 
@@ -478,7 +636,7 @@ let trace_cmd =
 let experiments_cmd =
   let which =
     Arg.(value & pos 0 (some string) None
-         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e11); all when omitted.")
+         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e12); all when omitted.")
   in
   let run which =
     match which with
@@ -496,7 +654,7 @@ let experiments_cmd =
 let suite_cmd =
   let which =
     Arg.(value & pos 0 (some string) None
-         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e11); all when omitted.")
+         & info [] ~docv:"EXP" ~doc:"Experiment (overview, e1..e12); all when omitted.")
   in
   let json_arg =
     Arg.(value & opt (some string) None
@@ -707,7 +865,8 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the analysis daemon: lint/race/simulate/fuzz/suite requests \
+       ~doc:"Run the analysis daemon: lint/race/analyze/simulate/fuzz/suite \
+             requests \
              over length-prefixed JSON frames, dispatched to named worker \
              micropools with keyed artifact caches.  Send a \
              $(b,{\"kind\":\"shutdown\"}) request (or SIGINT) to stop.")
@@ -737,8 +896,8 @@ let loadgen_cmd =
     Arg.(value & opt string "lint=2,sim=1,race=1"
          & info [ "mix" ] ~docv:"MIX"
              ~doc:"Weighted request mix: comma/colon-separated \
-                   $(b,kind=weight) tokens over ping, lint, race, sim, \
-                   stats (e.g. $(b,lint:sim:race)).")
+                   $(b,kind=weight) tokens over ping, lint, race, analyze, \
+                   sim, stats (e.g. $(b,lint:sim:race)).")
   in
   let lg_algo_arg =
     Arg.(value & opt string "mm"
@@ -836,9 +995,9 @@ let () =
   let code =
     Cmd.eval
       (Cmd.group info
-         [ span_cmd; race_cmd; lint_cmd; sb_cmd; sched_cmd; check_cmd;
-           drs_cmd; trace_cmd; experiments_cmd; suite_cmd; fuzz_cmd;
-           serve_cmd; loadgen_cmd ])
+         [ span_cmd; race_cmd; lint_cmd; analyze_cmd; sb_cmd; sched_cmd;
+           check_cmd; drs_cmd; trace_cmd; experiments_cmd; suite_cmd;
+           fuzz_cmd; serve_cmd; loadgen_cmd ])
   in
   (* cmdliner reports CLI misuse — unknown subcommand, bad flag — as
      its [cli_error] code (124) after printing usage on stderr; fold it

@@ -1,0 +1,490 @@
+module Is = Nd_util.Interval_set
+module Json = Nd_util.Json
+module Fire_rule = Nd.Fire_rule
+module Pedigree = Nd.Pedigree
+module Program = Nd.Program
+module Spawn_tree = Nd.Spawn_tree
+module Strand = Nd.Strand
+module Pmh = Nd_pmh.Pmh
+module Sb = Nd_sched.Sb_sched
+
+(* The structural mirror of Program.compile: same post-order node layout,
+   same fire-arrow rewriting, but no DAG.  Span is a longest-path DP over
+   a DFS {e event} numbering of the tree — one event per leaf, a
+   pre-visit begin event and post-visit end event per Par/Fire, Seq
+   aliasing its first child's begin and last child's end, exactly like
+   the DAG's vertex aliasing.  Every structural edge goes from an
+   earlier event to a later one by construction, and every rewritten
+   fire arrow runs from the source subtree to the sink subtree of some
+   Fire node (the rewriting never escapes them), i.e. also forward in
+   DFS order — so event order is a topological order of the implied DAG
+   and one forward sweep computes the exact critical path. *)
+
+type kind = Leaf of Strand.t | Seq | Par | Fire of string
+
+type node = {
+  kind : kind;
+  children : int array;
+  begin_ev : int;
+  end_ev : int;
+}
+
+(* Hash-consed translation-normalized subtree shapes.  Two nodes share a
+   shape iff their subtrees are exact translates of each other (same
+   structure, works and rule names; footprints shifted by one global
+   offset).  Work, footprint cardinality, peak footprint and the Q*
+   recurrence are all translation-invariant, so they are stored once per
+   shape; regular divide-and-conquer trees collapse to O(depth) shapes. *)
+type shape = {
+  s_children : int array;  (* child shape ids; [||] for leaves *)
+  s_fp : Is.t;  (* footprint shifted so its minimum address is 0 *)
+  s_size : int;
+  s_work : int;
+  s_peak : int;
+}
+
+type shape_key =
+  | KLeaf of int * (int * int) list * (int * int) list
+      (* work, normalized read / write intervals *)
+  | KNode of int * string * (int * int) list
+      (* construct tag, rule name, per-child (shape id, footprint offset) *)
+
+(* The generic [Hashtbl.hash] inspects a bounded prefix of the key, so
+   wide nodes whose child lists share a long prefix (e.g. the diagonal
+   [Seq] rows of a DP sweep) all collide and interning degrades to
+   quadratic list comparisons.  Fold the whole key instead — child
+   entries are ints, so a full-depth hash is cheap. *)
+module Shape_key = struct
+  type t = shape_key
+
+  let equal (a : t) b = a = b
+
+  let fold_pairs = List.fold_left (fun h (a, b) -> ((h * 31) + a) * 31 + b)
+
+  let hash = function
+    | KLeaf (w, rs, ws) -> fold_pairs (fold_pairs ((w * 31) + 1) rs) ws
+    | KNode (tag, rule, ds) ->
+      fold_pairs ((tag * 31) + Hashtbl.hash rule) ds
+end
+
+module Shape_tbl = Hashtbl.Make (Shape_key)
+
+type t = {
+  shapes : shape array;
+  root_shape : int;
+  qmemo : (int * int, int) Hashtbl.t;  (* (shape id, m) -> Q* *)
+  work : int;
+  span : int;
+  peak : int;
+  root_size : int;
+  n_leaves : int;
+  n_nodes : int;
+  n_fire_edges : int;
+}
+
+type report = {
+  work : int;
+  span : int;
+  parallelism : float;
+  peak_footprint : int;
+  root_size : int;
+  n_leaves : int;
+  n_nodes : int;
+  n_fire_edges : int;
+  n_shapes : int;
+}
+
+let dummy_node =
+  { kind = Seq; children = [||]; begin_ev = 0; end_ev = 0 }
+
+let dummy_shape =
+  { s_children = [||]; s_fp = Is.empty; s_size = 0; s_work = 0; s_peak = 0 }
+
+let analyze ~registry tree =
+  (* ---------------- flatten: nodes, events, structural edges -------- *)
+  let store = ref (Array.make 64 dummy_node) in
+  let n_nodes = ref 0 in
+  let works = ref (Array.make 64 0) in
+  let n_ev = ref 0 in
+  let edges = ref [] in
+  let n_leaves = ref 0 in
+  let add_node node =
+    let id = !n_nodes in
+    if id >= Array.length !store then begin
+      let bigger = Array.make (2 * Array.length !store) dummy_node in
+      Array.blit !store 0 bigger 0 id;
+      store := bigger
+    end;
+    !store.(id) <- node;
+    incr n_nodes;
+    id
+  in
+  let get i = !store.(i) in
+  let new_event w =
+    let id = !n_ev in
+    if id >= Array.length !works then begin
+      let bigger = Array.make (2 * Array.length !works) 0 in
+      Array.blit !works 0 bigger 0 id;
+      works := bigger
+    end;
+    !works.(id) <- w;
+    incr n_ev;
+    id
+  in
+  let add_edge u v = edges := (u, v) :: !edges in
+  let rec build t =
+    match t with
+    | Spawn_tree.Leaf s ->
+      let ev = new_event s.Strand.work in
+      incr n_leaves;
+      add_node
+        { kind = Leaf s; children = [||]; begin_ev = ev; end_ev = ev }
+    | Spawn_tree.Seq cs ->
+      let ids = List.map build cs in
+      let arr = Array.of_list ids in
+      Array.iteri
+        (fun i c ->
+          if i > 0 then add_edge (get arr.(i - 1)).end_ev (get c).begin_ev)
+        arr;
+      let begin_ev = (get arr.(0)).begin_ev in
+      let end_ev = (get arr.(Array.length arr - 1)).end_ev in
+      add_node { kind = Seq; children = arr; begin_ev; end_ev }
+    | Spawn_tree.Par cs ->
+      let begin_ev = new_event 0 in
+      let ids = List.map build cs in
+      let end_ev = new_event 0 in
+      let arr = Array.of_list ids in
+      Array.iter
+        (fun c ->
+          add_edge begin_ev (get c).begin_ev;
+          add_edge (get c).end_ev end_ev)
+        arr;
+      add_node { kind = Par; children = arr; begin_ev; end_ev }
+    | Spawn_tree.Fire { rule; src; snk } ->
+      if not (Fire_rule.mem registry rule) then
+        invalid_arg
+          (Printf.sprintf "Cost.analyze: undefined fire type %S" rule);
+      let begin_ev = new_event 0 in
+      let a = build src in
+      let b = build snk in
+      let end_ev = new_event 0 in
+      add_edge begin_ev (get a).begin_ev;
+      add_edge begin_ev (get b).begin_ev;
+      add_edge (get a).end_ev end_ev;
+      add_edge (get b).end_ev end_ev;
+      add_node
+        { kind = Fire rule; children = [| a; b |]; begin_ev; end_ev }
+  in
+  let root = build tree in
+  let nodes = Array.sub !store 0 !n_nodes in
+  ignore root;
+  (* ---------------- fire-arrow rewriting (mirror of Program) -------- *)
+  let is_leaf id = nodes.(id).children = [||] in
+  let resolve id ped =
+    let rec go id = function
+      | [] -> id
+      | step :: rest ->
+        let cs = nodes.(id).children in
+        if step >= 1 && step <= Array.length cs then go cs.(step - 1) rest
+        else id (* attach at the deepest existing node *)
+    in
+    go id (Pedigree.to_list ped)
+  in
+  let fire_pairs = Hashtbl.create 256 in
+  let full_edge a b =
+    if a <> b then begin
+      let u = nodes.(a).end_ev and v = nodes.(b).begin_ev in
+      if u <> v && not (Hashtbl.mem fire_pairs (a, b)) then begin
+        Hashtbl.add fire_pairs (a, b) ();
+        add_edge u v
+      end
+    end
+  in
+  let visited = Hashtbl.create 4096 in
+  let rec process a b target =
+    match target with
+    | Fire_rule.Full -> full_edge a b
+    | Fire_rule.Named r ->
+      let key = (a, b, r) in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.add visited key ();
+        let rules =
+          try Fire_rule.find registry r
+          with Not_found ->
+            invalid_arg
+              (Printf.sprintf "Cost.analyze: undefined fire type %S" r)
+        in
+        if rules <> [] then
+          if is_leaf a && is_leaf b then full_edge a b
+          else
+            List.iter
+              (fun { Fire_rule.src; via; dst } ->
+                let a' = resolve a src and b' = resolve b dst in
+                match via with
+                | Fire_rule.Full -> full_edge a' b'
+                | Fire_rule.Named r' ->
+                  if a' = a && b' = b && r' = r then
+                    (* no structural progress: conservative full edge *)
+                    full_edge a b
+                  else process a' b' via)
+              rules
+      end
+  in
+  Array.iter
+    (fun n ->
+      match n.kind with
+      | Fire r -> process n.children.(0) n.children.(1) (Fire_rule.Named r)
+      | Leaf _ | Seq | Par -> ())
+    nodes;
+  (* ---------------- span: forward longest-path DP over events ------- *)
+  let n_ev = !n_ev in
+  let works = !works in
+  let succs = Array.make n_ev [] in
+  List.iter (fun (u, v) -> succs.(u) <- v :: succs.(u)) !edges;
+  let dist = Array.make n_ev 0 in
+  let span = ref 0 in
+  for v = 0 to n_ev - 1 do
+    let d = dist.(v) + works.(v) in
+    if d > !span then span := d;
+    List.iter (fun w -> if d > dist.(w) then dist.(w) <- d) succs.(v)
+  done;
+  (* ---------------- shapes: hash-consed translated subtrees --------- *)
+  let shape_ids : int Shape_tbl.t = Shape_tbl.create 256 in
+  let shapes = ref (Array.make 64 dummy_shape) in
+  let n_shapes = ref 0 in
+  let add_shape s =
+    let id = !n_shapes in
+    if id >= Array.length !shapes then begin
+      let bigger = Array.make (2 * Array.length !shapes) dummy_shape in
+      Array.blit !shapes 0 bigger 0 id;
+      shapes := bigger
+    end;
+    !shapes.(id) <- s;
+    incr n_shapes;
+    id
+  in
+  let intern key mk =
+    match Shape_tbl.find_opt shape_ids key with
+    | Some id -> id
+    | None ->
+      let id = add_shape (mk ()) in
+      Shape_tbl.add shape_ids key id;
+      id
+  in
+  let node_shape = Array.make (Array.length nodes) (-1) in
+  let node_min = Array.make (Array.length nodes) 0 in
+  (* post-order ids: children are interned before their parent *)
+  Array.iteri
+    (fun id n ->
+      match n.kind with
+      | Leaf s ->
+        let fp = Strand.footprint s in
+        let mn =
+          match Is.intervals fp with [] -> 0 | (lo, _) :: _ -> lo
+        in
+        let key =
+          KLeaf
+            ( s.Strand.work,
+              Is.intervals (Is.shift s.Strand.reads (-mn)),
+              Is.intervals (Is.shift s.Strand.writes (-mn)) )
+        in
+        node_min.(id) <- mn;
+        node_shape.(id) <-
+          intern key (fun () ->
+              let nfp = Is.shift fp (-mn) in
+              let size = Is.cardinal nfp in
+              { s_children = [||]; s_fp = nfp; s_size = size;
+                s_work = s.Strand.work; s_peak = size })
+      | Seq | Par | Fire _ ->
+        let mn =
+          Array.fold_left
+            (fun acc c ->
+              if Is.is_empty !shapes.(node_shape.(c)).s_fp then acc
+              else
+                match acc with
+                | None -> Some node_min.(c)
+                | Some m -> Some (min m node_min.(c)))
+            None n.children
+        in
+        let mn = match mn with None -> 0 | Some m -> m in
+        let deltas =
+          Array.to_list
+            (Array.map
+               (fun c ->
+                 let s = node_shape.(c) in
+                 if Is.is_empty !shapes.(s).s_fp then (s, 0)
+                 else (s, node_min.(c) - mn))
+               n.children)
+        in
+        let tag, rule =
+          match n.kind with
+          | Seq -> (0, "")
+          | Par -> (1, "")
+          | Fire r -> (2, r)
+          | Leaf _ -> assert false
+        in
+        node_min.(id) <- mn;
+        node_shape.(id) <-
+          intern (KNode (tag, rule, deltas)) (fun () ->
+              let fp =
+                List.fold_left
+                  (fun acc (s, d) -> Is.union acc (Is.shift !shapes.(s).s_fp d))
+                  Is.empty deltas
+              in
+              let sum f =
+                List.fold_left (fun acc (s, _) -> acc + f !shapes.(s)) 0 deltas
+              in
+              let peak =
+                match n.kind with
+                | Seq ->
+                  List.fold_left
+                    (fun acc (s, _) -> max acc !shapes.(s).s_peak)
+                    0 deltas
+                | Par | Fire _ -> sum (fun s -> s.s_peak)
+                | Leaf _ -> assert false
+              in
+              { s_children = Array.map (fun c -> node_shape.(c)) n.children;
+                s_fp = fp; s_size = Is.cardinal fp;
+                s_work = sum (fun s -> s.s_work); s_peak = peak }))
+    nodes;
+  let root_shape = node_shape.(Array.length nodes - 1) in
+  let root = !shapes.(root_shape) in
+  {
+    shapes = Array.sub !shapes 0 !n_shapes;
+    root_shape;
+    qmemo = Hashtbl.create 64;
+    work = root.s_work;
+    span = !span;
+    peak = root.s_peak;
+    root_size = root.s_size;
+    n_leaves = !n_leaves;
+    n_nodes = Array.length nodes;
+    n_fire_edges = Hashtbl.length fire_pairs;
+  }
+
+let of_program p = analyze ~registry:(Program.registry p) (Program.tree p)
+
+let work (t : t) = t.work
+
+let span (t : t) = t.span
+
+let peak_footprint (t : t) = t.peak
+
+let root_size (t : t) = t.root_size
+
+(* Mirrors Program.decompose + Pcc.q_star: a node whose size fits in m
+   (or a leaf) is a maximal task contributing its size; otherwise it is a
+   glue node contributing 1 plus its children's totals.  Both the
+   predicate and the contributions depend only on the shape. *)
+let q_star t ~m =
+  if m < 1 then invalid_arg "Cost.q_star: m < 1";
+  let rec go s =
+    match Hashtbl.find_opt t.qmemo (s, m) with
+    | Some q -> q
+    | None ->
+      let sh = t.shapes.(s) in
+      let q =
+        if sh.s_size <= m || sh.s_children = [||] then sh.s_size
+        else
+          1 + Array.fold_left (fun acc c -> acc + go c) 0 sh.s_children
+      in
+      Hashtbl.add t.qmemo (s, m) q;
+      q
+  in
+  go t.root_shape
+
+let report (t : t) =
+  {
+    work = t.work;
+    span = t.span;
+    parallelism =
+      (if t.span = 0 then 0. else float_of_int t.work /. float_of_int t.span);
+    peak_footprint = t.peak;
+    root_size = t.root_size;
+    n_leaves = t.n_leaves;
+    n_nodes = t.n_nodes;
+    n_fire_edges = t.n_fire_edges;
+    n_shapes = Array.length t.shapes;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>work        %d@,span        %d@,parallelism %.2f@,\
+     peak fp     %d@,root size   %d@,leaves      %d@,nodes       %d@,\
+     fire edges  %d@,shapes      %d@]"
+    r.work r.span r.parallelism r.peak_footprint r.root_size r.n_leaves
+    r.n_nodes r.n_fire_edges r.n_shapes
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("work", Json.Int r.work);
+      ("span", Json.Int r.span);
+      ("parallelism", Json.Float r.parallelism);
+      ("peak_footprint", Json.Int r.peak_footprint);
+      ("root_size", Json.Int r.root_size);
+      ("n_leaves", Json.Int r.n_leaves);
+      ("n_nodes", Json.Int r.n_nodes);
+      ("n_fire_edges", Json.Int r.n_fire_edges);
+      ("n_shapes", Json.Int r.n_shapes);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1 certification                                             *)
+(* ------------------------------------------------------------------ *)
+
+type level_check = { level : int; m : int; misses : int; bound : int }
+
+type certification = {
+  sigma : float;
+  levels : level_check list;
+  certified : bool;
+}
+
+let certify_theorem1 ?(sigma = 1. /. 3.) program machine =
+  let cost = of_program program in
+  let stats = Sb.run ~sigma ~accounting:Sb.Rho program machine in
+  let levels =
+    List.init (Pmh.n_levels machine) (fun j ->
+        let level = j + 1 in
+        let m =
+          max 1 (int_of_float (sigma *. float_of_int (Pmh.size machine ~level)))
+        in
+        { level; m; misses = stats.Sb.misses.(j); bound = q_star cost ~m })
+  in
+  {
+    sigma;
+    levels;
+    certified = List.for_all (fun l -> l.misses <= l.bound) levels;
+  }
+
+let certification_to_json c =
+  Json.Obj
+    [
+      ("sigma", Json.Float c.sigma);
+      ("certified", Json.Bool c.certified);
+      ( "levels",
+        Json.List
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [
+                   ("level", Json.Int l.level);
+                   ("m", Json.Int l.m);
+                   ("misses", Json.Int l.misses);
+                   ("q_star_bound", Json.Int l.bound);
+                 ])
+             c.levels) );
+    ]
+
+let pp_certification ppf c =
+  Format.fprintf ppf "@[<v>Theorem 1 (sigma=%.2f): %s@," c.sigma
+    (if c.certified then "certified" else "VIOLATED");
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  level %d: misses %d %s Q*(%d) = %d@," l.level
+        l.misses
+        (if l.misses <= l.bound then "<=" else ">")
+        l.m l.bound)
+    c.levels;
+  Format.fprintf ppf "@]"

@@ -24,7 +24,17 @@ module Json = Nd_util.Json
    ND008  error    definite footprint race between Par siblings (or the
                    two sides of an empty-rule-set fire)
    ND009  error    determinacy race (ESP-bags), reported with the same
-                   LCA + pedigree diagnosis as Rule_check *)
+                   LCA + pedigree diagnosis as Rule_check
+   ND010  warning  span not recovered asymptotically: over a size sweep
+                   of the structural Cost pass, the NP/ND span ratio
+                   does not grow (static, asymptotic version of ND007)
+   ND011  warning  peak footprint exceeds the outermost cache level: no
+                   tree_sched budget below the working set avoids
+                   top-level misses
+   ND012  warning  parallelism below the processor count: Brent's bound
+                   caps speedup at work/span (slack < 1)
+   ND013  warning  fire-rule chain of length Theta(work): span equals
+                   work, the construct is fully serial *)
 
 type severity = Error | Warning
 
@@ -41,6 +51,17 @@ let finding id severity subject fmt =
 let severity_name = function Error -> "error" | Warning -> "warning"
 
 let has_errors = List.exists (fun f -> f.severity = Error)
+
+let known_ids =
+  [
+    "ND001"; "ND002"; "ND003"; "ND004"; "ND005"; "ND006"; "ND007"; "ND008";
+    "ND009"; "ND010"; "ND011"; "ND012"; "ND013";
+  ]
+
+let filter_min_severity min fs =
+  match min with
+  | Warning -> fs
+  | Error -> List.filter (fun f -> f.severity = Error) fs
 
 let pp_finding ppf f =
   Format.fprintf ppf "%s %s (%s): %s" (severity_name f.severity) f.id
@@ -67,8 +88,11 @@ let of_json j =
         | Some (Json.String s) -> s
         | _ -> raise (Json.Parse_error ("lint finding: missing " ^ field))
       in
+      let id = str "id" in
+      if not (List.mem id known_ids) then
+        raise (Json.Parse_error ("lint finding: unknown id " ^ id));
       {
-        id = str "id";
+        id;
         severity =
           (match str "severity" with
           | "error" -> Error
@@ -369,3 +393,102 @@ let lint_all ~registry tree =
      raises on exactly the defects the static pass reports *)
   if has_errors static then static
   else static @ lint_program (Program.compile ~registry tree)
+
+(* ----------------- structural (Cost-based) checks ------------------ *)
+
+let lint_cost ?machine ?procs ~has_fires cost =
+  let r = Cost.report cost in
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  (match machine with
+  | Some m ->
+    let top = Nd_pmh.Pmh.n_levels m in
+    let cap = Nd_pmh.Pmh.size m ~level:top in
+    if r.Cost.peak_footprint > cap then
+      add
+        (finding "ND011" Warning "program"
+           "peak footprint %d words exceeds the outermost cache (level %d, \
+            M=%d): no tree_sched budget below the working set avoids \
+            top-level misses; anchor with budget >= %d or expect them"
+           r.Cost.peak_footprint top cap r.Cost.peak_footprint)
+  | None -> ());
+  (match procs with
+  | Some p when r.Cost.span > 0 && r.Cost.parallelism < float_of_int p ->
+    add
+      (finding "ND012" Warning "program"
+         "parallelism %.1f (work %d / span %d) is below the %d processors: \
+          Brent's bound caps speedup at the parallelism, so the extra \
+          processors idle"
+         r.Cost.parallelism r.Cost.work r.Cost.span p)
+  | Some _ | None -> ());
+  if has_fires && r.Cost.n_leaves > 1 && r.Cost.span = r.Cost.work then
+    add
+      (finding "ND013" Warning "program"
+         "span equals work (%d): the rewritten fire-rule chains have length \
+          Theta(work) and the construct is fully serial"
+         r.Cost.span);
+  List.rev !fs
+
+(* ND010: the asymptotic version of ND007.  Runs the structural pass on
+   a sweep of sizes for both the ND tree and its fully-serialized NP
+   projection and judges whether the fires buy span {e asymptotically}:
+   a flat NP/ND span ratio means at best a constant factor. *)
+let lint_span_sweep ~subject ~build sizes =
+  let pts =
+    List.filter_map
+      (fun n ->
+        let registry, tree = build n in
+        if Spawn_tree.fire_types tree = [] then None
+        else
+          let nd = Cost.span (Cost.analyze ~registry tree) in
+          let np =
+            Cost.span
+              (Cost.analyze ~registry (Spawn_tree.serialize_fires tree))
+          in
+          Some (n, nd, np))
+      (List.sort_uniq compare sizes)
+  in
+  let ratio nd np = float_of_int np /. float_of_int (max 1 nd) in
+  match pts with
+  | [] -> []
+  | [ (n, nd, np) ] ->
+    if nd = np then
+      [
+        finding "ND010" Warning subject
+          "no span recovered at n=%d (ND span %d = NP span; give a size \
+           sweep for the asymptotic judgment)"
+          n nd;
+      ]
+    else []
+  | (n0, nd0, np0) :: _ ->
+    let nk, ndk, npk = List.nth pts (List.length pts - 1) in
+    let r0 = ratio nd0 np0 and rk = ratio ndk npk in
+    let exponents () =
+      (* log-log fits are only well-defined on positive spans *)
+      if List.for_all (fun (_, nd, np) -> nd > 0 && np > 0) pts then
+        let xs = List.map (fun (n, _, _) -> float_of_int n) pts in
+        let e_nd, _, _ =
+          Nd_util.Stats.power_fit xs
+            (List.map (fun (_, nd, _) -> float_of_int nd) pts)
+        and e_np, _, _ =
+          Nd_util.Stats.power_fit xs
+            (List.map (fun (_, _, np) -> float_of_int np) pts)
+        in
+        Printf.sprintf " (fitted span exponents: ND %.2f, NP %.2f)" e_nd e_np
+      else ""
+    in
+    if rk <= 1.01 then
+      [
+        finding "ND010" Warning subject
+          "the fires recover no span at the largest size: ND span %d = NP \
+           span %d at n=%d%s"
+          ndk npk nk (exponents ());
+      ]
+    else if rk <= r0 *. 1.05 then
+      [
+        finding "ND010" Warning subject
+          "the fires recover only a constant span factor: NP/ND ratio %.2f \
+           at n=%d vs %.2f at n=%d — no asymptotic recovery%s"
+          rk nk r0 n0 (exponents ());
+      ]
+    else []

@@ -25,12 +25,23 @@
       or across an empty-rule-set fire ({!Footprint}).
     - [ND009] {e error} — determinacy race found by the ESP-bags pass
       ({!Esp_bags}), reported with the same LCA + pedigree diagnosis as
-      {!Nd.Rule_check}. *)
+      {!Nd.Rule_check}.
+    - [ND010] {e warning} — span not recovered {e asymptotically}: over
+      a size sweep of the structural {!Cost} pass, the NP/ND span ratio
+      does not grow (the static, asymptotic version of ND007; needs no
+      DAG, so it runs at sizes ND007 cannot).
+    - [ND011] {e warning} — peak footprint exceeds the outermost cache
+      level of a given PMH: no [tree_sched] budget below the working set
+      avoids top-level misses.
+    - [ND012] {e warning} — parallelism ([work/span]) below a given
+      processor count: Brent's bound caps speedup at the parallelism.
+    - [ND013] {e warning} — fire-rule chain of length Θ(work): span
+      equals work, the construct is fully serial. *)
 
 type severity = Error | Warning
 
 type finding = {
-  id : string;  (** ["ND001"] .. ["ND009"] *)
+  id : string;  (** ["ND001"] .. ["ND013"] *)
   severity : severity;
   subject : string;  (** rule-set name, node path, or ["program"] *)
   message : string;
@@ -40,11 +51,21 @@ val severity_name : severity -> string
 
 val has_errors : finding list -> bool
 
+(** The stable rule catalogue, [["ND001"; ..; "ND013"]]; {!of_json}
+    rejects anything else. *)
+val known_ids : string list
+
+(** [filter_min_severity min fs] keeps the findings at severity [min] or
+    above ([Warning] keeps everything, [Error] keeps only errors) — the
+    [--min-severity] filter of [ndsim lint] / [ndsim analyze]. *)
+val filter_min_severity : severity -> finding list -> finding list
+
 val pp_finding : Format.formatter -> finding -> unit
 
 (** [to_json fs] / [of_json j] — lossless round-trip as a JSON list of
     objects with fields [id], [severity], [subject], [message].
-    @raise Nd_util.Json.Parse_error if [of_json] is given anything else. *)
+    @raise Nd_util.Json.Parse_error if [of_json] is given anything else,
+    including an [id] outside the {!known_ids} catalogue. *)
 val to_json : finding list -> Nd_util.Json.t
 
 val of_json : Nd_util.Json.t -> finding list
@@ -66,3 +87,27 @@ val lint_program : Nd.Program.t -> finding list
     raises on exactly the defects they report. *)
 val lint_all :
   registry:Nd.Fire_rule.registry -> Nd.Spawn_tree.t -> finding list
+
+(** [lint_cost ?machine ?procs ~has_fires cost] — the structural checks
+    over a completed {!Cost} pass: ND011 (peak footprint vs the
+    outermost cache of [machine]), ND012 (parallelism below [procs]),
+    ND013 (span ≡ work while the tree contains fires, per [has_fires]).
+    Checks whose optional context is absent are skipped. *)
+val lint_cost :
+  ?machine:Nd_pmh.Pmh.t ->
+  ?procs:int ->
+  has_fires:bool ->
+  Cost.t ->
+  finding list
+
+(** [lint_span_sweep ~subject ~build sizes] — ND010.  [build n] yields
+    the registry and spawn tree at problem size [n]; the sweep runs the
+    structural pass on each size for both the ND tree and its
+    [serialize_fires] projection and warns when the NP/ND span ratio
+    does not grow (no asymptotic span recovery).  Trees without fires
+    contribute nothing; an empty or fire-free sweep yields []. *)
+val lint_span_sweep :
+  subject:string ->
+  build:(int -> Nd.Fire_rule.registry * Nd.Spawn_tree.t) ->
+  int list ->
+  finding list

@@ -6,6 +6,7 @@ module Sb = Nd_sched.Sb_sched
 module Ws = Nd_sched.Work_steal
 module Executor = Nd_runtime.Executor
 module Prng = Nd_util.Prng
+module Cost = Nd_analyze.Cost
 
 type config = {
   procs : int list;
@@ -274,6 +275,56 @@ let check_executing cfg program ~reset ~verify =
   end;
   !paths
 
+(* ---------------------- structural cost analysis --------------------- *)
+
+(* The structural Cost pass must agree bit-for-bit with every exact
+   quantity the DAG path defines (work, span, root footprint size,
+   leaves, Q* at every capacity the sigma sweep touches), and the
+   SB-simulated per-level ρ misses must obey the static Theorem 1 bound
+   Q*(t; sigma * M_j) at every sigma. *)
+let check_cost cfg program ~work ~span =
+  let stage = "cost" in
+  let cost = guard stage (fun () -> Cost.of_program program) in
+  let r = Cost.report cost in
+  if r.Cost.work <> work then
+    fail stage "structural work %d <> DAG work %d" r.Cost.work work;
+  if r.Cost.span <> span then
+    fail stage "structural span %d <> DAG span %d" r.Cost.span span;
+  if r.Cost.n_leaves <> Nd.Program.n_leaves program then
+    fail stage "structural n_leaves %d <> %d" r.Cost.n_leaves
+      (Nd.Program.n_leaves program);
+  let root_size = Nd.Program.size program (Nd.Program.root program) in
+  if r.Cost.root_size <> root_size then
+    fail stage "structural root size %d <> exact %d" r.Cost.root_size
+      root_size;
+  let ms =
+    List.sort_uniq compare
+      (1 :: 2
+      :: List.concat_map
+           (fun sigma ->
+             List.init (Pmh.n_levels cfg.machine) (fun j ->
+                 max 1
+                   (int_of_float
+                      (sigma *. float_of_int (Pmh.size cfg.machine ~level:(j + 1))))))
+           cfg.sigmas)
+  in
+  List.iter
+    (fun m ->
+      let q = Cost.q_star cost ~m and qe = Nd_mem.Pcc.q_star program ~m in
+      if q <> qe then fail stage "structural Q*(m=%d) %d <> exact %d" m q qe)
+    ms;
+  List.iter
+    (fun sigma ->
+      let stage = Printf.sprintf "cost theorem1 sigma=%.2f" sigma in
+      let c =
+        guard stage (fun () -> Cost.certify_theorem1 ~sigma program cfg.machine)
+      in
+      if not c.Cost.certified then
+        fail stage "Theorem 1 violated:@ %s"
+          (Format.asprintf "%a" Cost.pp_certification c))
+    cfg.sigmas;
+  1 + List.length cfg.sigmas
+
 (* ------------------------------ fronts ------------------------------- *)
 
 let run_oracle cfg program ~tree_work ~races_fail ~reset ~reference ~verify =
@@ -306,6 +357,7 @@ let run_oracle cfg program ~tree_work ~races_fail ~reset ~reference ~verify =
       + check_sb cfg program ~work ~span
       + check_ws cfg program ~work ~span
       + check_sim_shard cfg program ~work
+      + check_cost cfg program ~work ~span
       + check_zoo cfg program ~work ~span
       + check_executing cfg program ~reset ~verify
     in

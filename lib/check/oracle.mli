@@ -23,6 +23,11 @@
     - {b miss monotonicity}: the SB scheduler's per-level ρ miss counts
       are non-increasing in σ (larger space bounds only merge maximal
       tasks, never split them);
+    - {b static cost agreement}: the structural [Nd_analyze.Cost] pass
+      reproduces the DAG's work, span, leaf count, root footprint size
+      and [Q*] at every capacity the σ sweep touches, and the SB
+      per-level ρ misses obey Theorem 1's static bound
+      [Q*(t; σ·M_j)] at every σ ([Cost.certify_theorem1]);
     - {b sharded-sim identity}: SB's decoupled measurement mode
       ([sim_workers]) yields bit-identical per-cache miss tables at
       every worker count, deterministic across repeated runs, without

@@ -223,8 +223,8 @@ let sinks t =
 type reachability = { nbits : int; words : int; bits : Bytes.t }
 (* row v = descendants of v (including v), packed little-endian bit per id *)
 
-let reachability t =
-  if t.n > 60_000 then invalid_arg "Dag.reachability: too many vertices";
+let reachability ?(max_vertices = 60_000) t =
+  if t.n > max_vertices then invalid_arg "Dag.reachability: too many vertices";
   let words = (t.n + 7) / 8 in
   let bits = Bytes.make (t.n * words) '\000' in
   let set row v =

@@ -9,7 +9,15 @@ type race = {
 
 exception Limit_exceeded of { vertices : int; limit : int }
 
-let max_vertices = 60_000
+let default_max_vertices = 60_000
+
+let max_vertices =
+  match Sys.getenv_opt "NDSIM_RACE_MAX" with
+  | None | Some "" -> default_max_vertices
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> default_max_vertices)
 
 (* Exhaustive pairwise check guarded by cheap footprint overlap tests; the
    reachability closure answers the ordering question in O(1) per pair.
@@ -17,11 +25,11 @@ let max_vertices = 60_000
    loudly rather than degrade: callers either catch [Limit_exceeded] and
    fall back to the near-linear Nd_analyze.Esp_bags detector, or let it
    propagate. *)
-let find_races ?(limit = 16) dag =
+let find_races ?(limit = 16) ?(max_vertices = max_vertices) dag =
   let n = Dag.n_vertices dag in
   if n > max_vertices then
     raise (Limit_exceeded { vertices = n; limit = max_vertices });
-  let reach = Dag.reachability dag in
+  let reach = Dag.reachability ~max_vertices dag in
   let races = ref [] in
   let count = ref 0 in
   (try
@@ -46,7 +54,7 @@ let find_races ?(limit = 16) dag =
    with Exit -> ());
   List.rev !races
 
-let race_free dag = find_races ~limit:1 dag = []
+let race_free ?max_vertices dag = find_races ~limit:1 ?max_vertices dag = []
 
 let pp_race dag ppf r =
   Format.fprintf ppf "%s race between #%d(%s) and #%d(%s) on %a"

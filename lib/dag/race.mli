@@ -23,18 +23,28 @@ type race = {
     near-linear [Nd_analyze.Esp_bags] detector. *)
 exception Limit_exceeded of { vertices : int; limit : int }
 
-(** Size cap of the exact checker (the largest vertex count
-    {!Dag.reachability} accepts, currently 60_000). *)
+(** Built-in size cap of the exact checker, 60_000 vertices (a full
+    closure at that size is a ~450 MB bit-matrix). *)
+val default_max_vertices : int
+
+(** Effective default cap: {!default_max_vertices} unless the
+    [NDSIM_RACE_MAX] environment variable holds a positive integer, which
+    then overrides it (read once at module initialization; malformed or
+    non-positive values fall back to the built-in cap).  Raise it to push
+    the exact checker past 60k vertices at the price of quadratic memory,
+    or lower it to fail fast onto the [Esp_bags] path. *)
 val max_vertices : int
 
-(** [find_races ?limit dag] returns up to [limit] (default 16) races, or
-    [[]] when the DAG is determinacy-race free.  Exact: uses full
-    reachability.
-    @raise Limit_exceeded when the DAG exceeds {!max_vertices} vertices. *)
-val find_races : ?limit:int -> Dag.t -> race list
+(** [find_races ?limit ?max_vertices dag] returns up to [limit]
+    (default 16) races, or [[]] when the DAG is determinacy-race free.
+    Exact: uses full reachability.  [max_vertices] overrides the cap for
+    this call only (default {!max_vertices}).
+    @raise Limit_exceeded when the DAG exceeds the cap. *)
+val find_races : ?limit:int -> ?max_vertices:int -> Dag.t -> race list
 
-(** [race_free dag] is [find_races ~limit:1 dag = \[\]].
-    @raise Limit_exceeded when the DAG exceeds {!max_vertices} vertices. *)
-val race_free : Dag.t -> bool
+(** [race_free ?max_vertices dag] is
+    [find_races ~limit:1 ?max_vertices dag = \[\]].
+    @raise Limit_exceeded when the DAG exceeds the cap. *)
+val race_free : ?max_vertices:int -> Dag.t -> bool
 
 val pp_race : Dag.t -> Format.formatter -> race -> unit

@@ -1,6 +1,7 @@
 module Table = Nd_util.Table
 module Stats = Nd_util.Stats
 module Pmh = Nd_pmh.Pmh
+module Cost = Nd_analyze.Cost
 open Nd_algos
 
 let seed = 20160215 (* the paper's arXiv date *)
@@ -509,6 +510,77 @@ let e11_sharded_sim () =
     [ ("mm", 512, 32); ("fw1d", 512, 4) ];
   t
 
+(* ------------------------------ E12 -------------------------------- *)
+
+let e12_cost () =
+  let t =
+    Table.create
+      ~title:
+        "E12: structural cost analysis — Cost == exact DAG analysis, and \
+         Theorem-1 certification (SB misses <= Q*(sigma*M_j)) at paper \
+         scale"
+      [
+        "algo"; "work"; "span"; "peak fp"; "root size"; "shapes"; "level";
+        "m"; "misses"; "Q*(sM_j)"; "certified";
+      ]
+  in
+  let machine = sim_machine ~top_caches:1 in
+  let sigma = 1. /. 3. in
+  List.iter
+    (fun (name, n, base) ->
+      let fam = Workloads.find name in
+      let w = Workloads.build ~n ~base fam ~seed in
+      let p = Workload.compile w in
+      let cost = Cost.of_program p in
+      let r = Cost.report cost in
+      (* differential gate: the structural pass must reproduce the exact
+         DAG quantities on every row (the base=16 rows are past the
+         exact Race cap — the DAG itself still compiles fine there) *)
+      let exact = Nd.Analysis.analyze p in
+      if
+        r.Cost.work <> exact.Nd.Analysis.work
+        || r.Cost.span <> exact.Nd.Analysis.span
+      then
+        failwith
+          (Printf.sprintf
+             "E12: %s n=%d: structural work/span (%d, %d) <> exact (%d, %d)"
+             name n r.Cost.work r.Cost.span exact.Nd.Analysis.work
+             exact.Nd.Analysis.span);
+      let c = Cost.certify_theorem1 ~sigma p machine in
+      (* the load-bearing acceptance check: every row of the shipped
+         table is a certified Theorem-1 instance or the suite run fails *)
+      if not c.Cost.certified then
+        failwith
+          (Printf.sprintf "E12: %s n=%d: Theorem 1 violated:\n%s" name n
+             (Format.asprintf "%a" Cost.pp_certification c));
+      List.iter
+        (fun (l : Cost.level_check) ->
+          Table.add_row t
+            [
+              Printf.sprintf "%s n=%d b=%d" name n base;
+              Table.cell_int r.Cost.work;
+              Table.cell_int r.Cost.span;
+              Table.cell_int r.Cost.peak_footprint;
+              Table.cell_int r.Cost.root_size;
+              Table.cell_int r.Cost.n_shapes;
+              Table.cell_int l.Cost.level;
+              Table.cell_int l.Cost.m;
+              Table.cell_int l.Cost.misses;
+              Table.cell_int l.Cost.bound;
+              string_of_bool (l.Cost.misses <= l.Cost.bound);
+            ])
+        c.Cost.levels)
+    (* every workload family at the E10 paper scales, plus the mm/apsp
+       n=512 base=16 rows whose ~98k-vertex DAGs are past the exact
+       race-checker cap — the scale the structural pass exists for *)
+    [
+      ("mm", 512, 32); ("mm", 512, 16); ("mm8", 64, 4); ("trs", 64, 4);
+      ("cholesky", 64, 4); ("lu", 64, 4); ("apsp", 64, 4);
+      ("apsp", 512, 16); ("fw1d", 512, 4); ("stencil", 512, 4);
+      ("gotoh", 512, 4); ("lcs", 512, 4);
+    ];
+  t
+
 (* ---------------------------- overview ----------------------------- *)
 
 let overview () =
@@ -549,6 +621,7 @@ let all =
     ("e9", e9_runtime);
     ("e10", e10_zoo);
     ("e11", e11_sharded_sim);
+    ("e12", e12_cost);
   ]
 
 (* ---------------------------- drivers ------------------------------ *)

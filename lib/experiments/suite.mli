@@ -58,12 +58,23 @@ val e10_zoo : unit -> Nd_util.Table.t
     bit-identity acceptance gate. *)
 val e11_sharded_sim : unit -> Nd_util.Table.t
 
+(** [e12_cost ()] — the structural cost-analysis table (BENCH_8): every
+    workload family at paper scale, plus mm/apsp n=512 base=16 whose
+    ~98k-vertex DAGs are past the exact race-checker cap.  Each row
+    carries the structural work/span/peak-footprint/root-size, the
+    shape-memo count, and the per-level SB ρ misses next to the static
+    Theorem-1 bound [Q*(sigma*M_j)].  The builder {e raises} if the
+    structural pass disagrees with the exact DAG analysis or if any
+    level's misses exceed the bound, so a suite run doubles as the
+    Theorem-1 certification gate. *)
+val e12_cost : unit -> Nd_util.Table.t
+
 (** [overview ()] — per-algorithm inventory (work, spans, DAG sizes) at
     the default sizes. *)
 val overview : unit -> Nd_util.Table.t
 
 (** The experiments by name, in harness order
-    (["overview"; "e1" ... "e11"]). *)
+    (["overview"; "e1" ... "e12"]). *)
 val all : (string * (unit -> Nd_util.Table.t)) list
 
 (** Per-experiment wall-clock, measured with the monotonic clock. *)
@@ -87,7 +98,7 @@ val build_all :
     in suite order followed by the timings table. *)
 val run_all : ?workers:int -> ?tracer:Nd_trace.Collector.t -> unit -> unit
 
-(** [run name] — run and print one of ["overview"; "e1"..."e11"].
+(** [run name] — run and print one of ["overview"; "e1"..."e12"].
     @raise Not_found on an unknown name. *)
 val run : string -> unit
 

@@ -23,7 +23,7 @@ type result = {
   per_kind : (string * Histogram.t) list;
 }
 
-let known_kinds = [ "ping"; "lint"; "race"; "simulate"; "stats" ]
+let known_kinds = [ "ping"; "lint"; "race"; "analyze"; "simulate"; "stats" ]
 
 let parse_mix s =
   let tokens =
@@ -57,6 +57,7 @@ let request_of_kind spec = function
   | "ping" -> P.Ping
   | "lint" -> P.Lint spec.wk
   | "race" -> P.Race spec.wk
+  | "analyze" -> P.Analyze { wk = spec.wk; top = spec.top }
   | "simulate" -> P.Simulate { wk = spec.wk; top = spec.top; fine = false }
   | "stats" -> P.Stats
   | k -> Printf.ksprintf failwith "unknown request kind %S" k

@@ -12,6 +12,7 @@ type request =
   | Ping
   | Lint of workload_key
   | Race of workload_key
+  | Analyze of { wk : workload_key; top : int }
   | Simulate of { wk : workload_key; top : int; fine : bool }
   | Fuzz of { count : int; seed : int; max_depth : int }
   | Suite of { exp : string }
@@ -25,12 +26,16 @@ type response = { id : int; result : (Json.t, string) result }
 exception Protocol_error of string
 
 let kinds =
-  [| "ping"; "lint"; "race"; "simulate"; "fuzz"; "suite"; "stats"; "shutdown" |]
+  [|
+    "ping"; "lint"; "race"; "analyze"; "simulate"; "fuzz"; "suite"; "stats";
+    "shutdown";
+  |]
 
 let kind_name = function
   | Ping -> "ping"
   | Lint _ -> "lint"
   | Race _ -> "race"
+  | Analyze _ -> "analyze"
   | Simulate _ -> "simulate"
   | Fuzz _ -> "fuzz"
   | Suite _ -> "suite"
@@ -56,6 +61,7 @@ let request_to_json { id; req } =
     match req with
     | Ping | Stats | Shutdown -> [ kind ]
     | Lint wk | Race wk -> kind :: wk_fields wk
+    | Analyze { wk; top } -> (kind :: wk_fields wk) @ [ ("top", Json.Int top) ]
     | Simulate { wk; top; fine } ->
       (kind :: wk_fields wk)
       @ [ ("top", Json.Int top); ("fine", Json.Bool fine) ]
@@ -124,6 +130,12 @@ let request_of_json j =
     | "ping" -> Ping
     | "lint" -> Lint (wk_of_json j)
     | "race" -> Race (wk_of_json j)
+    | "analyze" ->
+      Analyze
+        {
+          wk = wk_of_json j;
+          top = (match get_int_opt j "top" with Some t -> t | None -> 1);
+        }
     | "simulate" ->
       Simulate
         {

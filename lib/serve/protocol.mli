@@ -29,6 +29,10 @@ type request =
   | Ping
   | Lint of workload_key
   | Race of workload_key  (** ESP-bags determinacy-race verdict *)
+  | Analyze of { wk : workload_key; top : int }
+      (** structural {!Nd_analyze.Cost} report plus Theorem-1
+          certification against the standard PMH with [top] root
+          caches *)
   | Simulate of { wk : workload_key; top : int; fine : bool }
       (** space-bounded scheduler simulation on the standard PMH with
           [top] root caches *)

@@ -57,6 +57,8 @@ let prog_key_of_wk (wk : P.workload_key) =
 
 type sim_key = { pk : prog_key; top : int; fine : bool } [@@warning "-69"]
 
+type cost_key = { cpk : prog_key; ctop : int } [@@warning "-69"]
+
 type fuzz_key = { count : int; fseed : int; max_depth : int }
 [@@warning "-69"]
 
@@ -67,6 +69,7 @@ type t = {
   programs : (prog_key, Workload.t * Nd.Program.t) Cache.t;
   lint_results : (prog_key, Json.t) Cache.t;
   race_results : (prog_key, Json.t) Cache.t;
+  cost_results : (cost_key, Json.t) Cache.t;
   sim_results : (sim_key, Json.t) Cache.t;
   fuzz_results : (fuzz_key, Json.t) Cache.t;
   suite_results : (string, Json.t) Cache.t;
@@ -112,6 +115,7 @@ let create cfg =
     programs = Cache.create ~name:"programs" ~cap:cfg.program_cache_cap ();
     lint_results = Cache.create ~name:"lint" ~cap:cfg.result_cache_cap ();
     race_results = Cache.create ~name:"race" ~cap:cfg.result_cache_cap ();
+    cost_results = Cache.create ~name:"analyze" ~cap:cfg.result_cache_cap ();
     sim_results = Cache.create ~name:"simulate" ~cap:cfg.result_cache_cap ();
     fuzz_results = Cache.create ~name:"fuzz" ~cap:cfg.result_cache_cap ();
     suite_results = Cache.create ~name:"suite" ~cap:16 ();
@@ -132,7 +136,7 @@ let create cfg =
 let pool_for st req =
   let name =
     match (req : P.request) with
-    | P.Lint _ | P.Race _ -> "analyze"
+    | P.Lint _ | P.Race _ | P.Analyze _ -> "analyze"
     | P.Simulate _ | P.Suite _ -> "simulate"
     | P.Fuzz _ -> "fuzz"
     | P.Ping | P.Stats | P.Shutdown -> assert false
@@ -191,6 +195,21 @@ let handle_race st wk =
             ("n_leaves", Json.Int s.Nd_analyze.Esp_bags.n_leaves);
             ("n_fire_edges", Json.Int s.Nd_analyze.Esp_bags.n_fire_edges);
             ("n_accesses", Json.Int s.Nd_analyze.Esp_bags.n_accesses);
+          ]))
+
+let handle_analyze st wk ~top =
+  let key = { cpk = prog_key_of_wk wk; ctop = top } in
+  Cache.find_or_compute st.cost_results key (fun () ->
+      let w, p = compiled st wk in
+      let module Cost = Nd_analyze.Cost in
+      let cost = Cost.of_program p in
+      let cert = Cost.certify_theorem1 p (standard_machine ~top) in
+      Json.Obj
+        (wk_fields w
+        @ [
+            ("top", Json.Int top);
+            ("report", Cost.report_to_json (Cost.report cost));
+            ("certification", Cost.certification_to_json cert);
           ]))
 
 let handle_simulate st wk ~top ~fine =
@@ -254,7 +273,7 @@ let handle_suite st ~exp =
   Cache.find_or_compute st.suite_results exp (fun () ->
       match List.assoc_opt exp Nd_experiments.Suite.all with
       | None ->
-        fail "unknown experiment %s (expected overview, e1..e9)" exp
+        fail "unknown experiment %s (expected overview, e1..e12)" exp
       | Some build -> Nd_util.Table.to_json (build ()))
 
 let uptime_s st = float_of_int (now_ns () - st.started_ns) /. 1e9
@@ -291,6 +310,7 @@ let stats_json st =
             Cache.stats_json st.programs;
             Cache.stats_json st.lint_results;
             Cache.stats_json st.race_results;
+            Cache.stats_json st.cost_results;
             Cache.stats_json st.sim_results;
             Cache.stats_json st.fuzz_results;
             Cache.stats_json st.suite_results;
@@ -318,6 +338,7 @@ let handle st (req : P.request) =
   | P.Shutdown -> Json.Obj [ ("stopping", Json.Bool true) ]
   | P.Lint wk -> handle_lint st wk
   | P.Race wk -> handle_race st wk
+  | P.Analyze { wk; top } -> handle_analyze st wk ~top
   | P.Simulate { wk; top; fine } -> handle_simulate st wk ~top ~fine
   | P.Fuzz { count; seed; max_depth } -> handle_fuzz st ~count ~seed ~max_depth
   | P.Suite { exp } -> handle_suite st ~exp

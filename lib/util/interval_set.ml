@@ -28,6 +28,10 @@ let normalize l =
 
 let of_intervals l = normalize l
 
+(* Translation preserves ordering, disjointness and non-adjacency, so the
+   invariant survives a plain map. *)
+let shift t d = if d = 0 then t else List.map (fun (lo, hi) -> (lo + d, hi + d)) t
+
 let union a b =
   let rec merge a b acc =
     match (a, b) with

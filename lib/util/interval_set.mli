@@ -21,6 +21,12 @@ val singleton : int -> t
     intervals, which may overlap and come in any order. *)
 val of_intervals : (int * int) list -> t
 
+(** [shift t d] translates every element by [d] (linear, no
+    renormalization needed: translation preserves the canonical form).
+    Used to compare footprints of subtrees up to translation when
+    memoizing structural cost analysis per subtree shape. *)
+val shift : t -> int -> t
+
 val union : t -> t -> t
 
 val inter : t -> t -> t

@@ -335,6 +335,253 @@ let test_lint_json_roundtrip () =
   in
   Alcotest.(check bool) "round-trip" true (back = findings)
 
+let test_lint_json_extended_catalogue () =
+  (* the structural checks ND010-ND013 must survive the codec too *)
+  let mk id = { Lint.id; severity = Lint.Warning; subject = "t"; message = id } in
+  let findings = List.map mk [ "ND010"; "ND011"; "ND012"; "ND013" ] in
+  let back =
+    Lint.of_json (Json.parse (Json.to_string (Lint.to_json findings)))
+  in
+  Alcotest.(check bool) "extended round-trip" true (back = findings);
+  (* an id outside the catalogue is a parse error, not a silent accept *)
+  let bogus = Json.to_string (Lint.to_json [ mk "ND999" ]) in
+  match Lint.of_json (Json.parse bogus) with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unknown id ND999 must be rejected"
+
+(* ------------------ lint: structural cost catalogue ------------------ *)
+
+module Cost = Nd_analyze.Cost
+
+let test_lint_cost_catalogue () =
+  (* ND013: a fire over two bare leaves bottoms out as an end-to-begin
+     full edge, so the halves serialize and span = work *)
+  let reg =
+    Fire_rule.define Fire_rule.empty_registry "X"
+      [ Fire_rule.rule [ 1 ] Fire_rule.Full [ 1 ] ]
+  in
+  let serial = Spawn_tree.fire ~rule:"X" (strand "f") (strand "g") in
+  let cost = Cost.analyze ~registry:reg serial in
+  (match find_ids "ND013" (Lint.lint_cost ~has_fires:true cost) with
+  | [ _ ] -> ()
+  | o -> Alcotest.failf "expected 1 ND013, got %d" (List.length o));
+  (* ND012: a two-leaf par has parallelism 2, far below 16 processors *)
+  let par = Spawn_tree.par [ strand "a"; strand "b" ] in
+  let pcost = Cost.analyze ~registry:Fire_rule.empty_registry par in
+  (match find_ids "ND012" (Lint.lint_cost ~procs:16 ~has_fires:false pcost) with
+  | [ _ ] -> ()
+  | o -> Alcotest.failf "expected 1 ND012, got %d" (List.length o));
+  (* ND013 needs fires: a fire-free serial chain is not flagged *)
+  (match find_ids "ND013" (Lint.lint_cost ~has_fires:false pcost) with
+  | [] -> ()
+  | o -> Alcotest.failf "fire-free tree raised %d ND013" (List.length o));
+  (* ND011: a working set above the outermost cache of a small PMH *)
+  let iv = Nd_util.Interval_set.interval 0 100 in
+  let big =
+    Spawn_tree.leaf (Strand.make ~label:"big" ~work:1 ~reads:iv ~writes:iv ())
+  in
+  let machine =
+    Nd_pmh.Pmh.create ~root_fanout:1
+      [
+        { Nd_pmh.Pmh.size = 16; fanout = 1; miss_cost = 2 };
+        { Nd_pmh.Pmh.size = 64; fanout = 4; miss_cost = 8 };
+      ]
+  in
+  let bcost = Cost.analyze ~registry:Fire_rule.empty_registry big in
+  (match find_ids "ND011" (Lint.lint_cost ~machine ~has_fires:false bcost) with
+  | [ _ ] -> ()
+  | o -> Alcotest.failf "expected 1 ND011, got %d" (List.length o));
+  (* ...and none when the cache holds the working set *)
+  match
+    find_ids "ND012" (Lint.lint_cost ~procs:1 ~has_fires:false pcost)
+  with
+  | [] -> ()
+  | o -> Alcotest.failf "parallelism 2 >= 1 proc raised %d ND012" (List.length o)
+
+let test_lint_span_sweep_catalogue () =
+  (* flat: a root-to-root full edge serializes the construct, so ND span
+     = NP span at every size and the sweep must flag ND010 *)
+  let reg =
+    Fire_rule.define Fire_rule.empty_registry "X"
+      [ Fire_rule.rule [] Fire_rule.Full [] ]
+  in
+  let build n =
+    let half k =
+      Spawn_tree.seq (List.init (max 1 k) (fun i -> strand (string_of_int i)))
+    in
+    (reg, Spawn_tree.fire ~rule:"X" (half (n / 2)) (half (n / 2)))
+  in
+  (match find_ids "ND010" (Lint.lint_span_sweep ~subject:"flat" ~build [ 4; 8; 16 ]) with
+  | [ _ ] -> ()
+  | o -> Alcotest.failf "expected 1 ND010, got %d" (List.length o));
+  (* trs recovers span asymptotically, so its sweep stays quiet *)
+  let fam = Nd_experiments.Workloads.find "trs" in
+  let build n =
+    let w = Nd_experiments.Workloads.build ~n fam ~seed:7 in
+    (w.Nd_algos.Workload.registry, w.Nd_algos.Workload.tree)
+  in
+  (match find_ids "ND010" (Lint.lint_span_sweep ~subject:"trs" ~build [ 8; 16; 32 ]) with
+  | [] -> ()
+  | o -> Alcotest.failf "trs sweep raised %d ND010" (List.length o));
+  (* a fire-free sweep yields nothing (no fires, nothing to judge) *)
+  let build_nofire n =
+    (Fire_rule.empty_registry,
+     Spawn_tree.par (List.init (max 1 n) (fun i -> strand (string_of_int i))))
+  in
+  match Lint.lint_span_sweep ~subject:"nofire" ~build:build_nofire [ 4; 8 ] with
+  | [] -> ()
+  | o -> Alcotest.failf "fire-free sweep raised %d findings" (List.length o)
+
+let test_lint_min_severity_filter () =
+  let mk id severity = { Lint.id; severity; subject = "t"; message = id } in
+  let fs = [ mk "ND008" Lint.Error; mk "ND012" Lint.Warning ] in
+  Alcotest.(check int) "warning keeps all" 2
+    (List.length (Lint.filter_min_severity Lint.Warning fs));
+  match Lint.filter_min_severity Lint.Error fs with
+  | [ f ] -> Alcotest.(check string) "error only" "ND008" f.Lint.id
+  | o -> Alcotest.failf "expected 1 finding, got %d" (List.length o)
+
+(* --------------- Cost == exact Analysis: generated corpus ------------ *)
+
+module Pcc = Nd_mem.Pcc
+
+let q_star_ms = [ 1; 2; 8; 64 ]
+
+let check_cost_matches_exact ~what p =
+  let cost = Cost.of_program p in
+  let exact = Analysis.analyze p in
+  let r = Cost.report cost in
+  if r.Cost.work <> exact.Analysis.work then
+    Alcotest.failf "%s: Cost work %d <> exact %d" what r.Cost.work
+      exact.Analysis.work;
+  if r.Cost.span <> exact.Analysis.span then
+    Alcotest.failf "%s: Cost span %d <> exact %d" what r.Cost.span
+      exact.Analysis.span;
+  if r.Cost.n_leaves <> exact.Analysis.n_leaves then
+    Alcotest.failf "%s: Cost n_leaves %d <> exact %d" what r.Cost.n_leaves
+      exact.Analysis.n_leaves;
+  let root_size = Program.size p (Program.root p) in
+  if r.Cost.root_size <> root_size then
+    Alcotest.failf "%s: Cost root_size %d <> exact %d" what r.Cost.root_size
+      root_size;
+  if r.Cost.n_fire_edges <> List.length (Program.fire_edges p) then
+    Alcotest.failf "%s: Cost fire edges %d <> exact %d" what
+      r.Cost.n_fire_edges
+      (List.length (Program.fire_edges p));
+  List.iter
+    (fun m ->
+      let q = Cost.q_star cost ~m in
+      let qe = Pcc.q_star p ~m in
+      if q <> qe then
+        Alcotest.failf "%s: Cost Q*(m=%d) %d <> exact %d" what m q qe)
+    q_star_ms
+
+let test_cost_matches_exact_corpus () =
+  (* seeds disjoint from the other corpora (test_conform 1_000.., ESP
+     5_000..25_000, CI fuzz base 42) *)
+  let count = min 20_000 (max 500 (50 * stress_iters)) in
+  for seed = 40_000 to 40_000 + count - 1 do
+    let spec = Gen.generate ~seed () in
+    let inst = Gen.build spec in
+    match Program.compile ~registry:inst.Gen.registry inst.Gen.tree with
+    | exception Invalid_argument _ ->
+      (* the structural pass must refuse the same programs *)
+      (match
+         Cost.analyze ~registry:inst.Gen.registry inst.Gen.tree
+       with
+      | exception Invalid_argument _ -> ()
+      | _ ->
+        Alcotest.failf "seed %d: compile refused but Cost.analyze passed"
+          seed)
+    | p -> check_cost_matches_exact ~what:(Printf.sprintf "seed %d" seed) p
+  done
+
+let test_cost_matches_exact_workloads () =
+  (* all ten shipped families at small n, both models *)
+  List.iter
+    (fun fam ->
+      let n = List.hd fam.Nd_experiments.Workloads.sizes in
+      let w = Nd_experiments.Workloads.build ~n fam ~seed:7 in
+      List.iter
+        (fun mode ->
+          let p = Nd_algos.Workload.compile ~mode w in
+          check_cost_matches_exact
+            ~what:
+              (Printf.sprintf "%s n=%d %s"
+                 fam.Nd_experiments.Workloads.name n
+                 (Nd_algos.Workload.mode_name mode))
+            p)
+        [ Nd_algos.Workload.ND; Nd_algos.Workload.NP ])
+    Nd_experiments.Workloads.all;
+  List.iter
+    (fun (name, n, base) ->
+      let fam = Nd_experiments.Workloads.find name in
+      let w = Nd_experiments.Workloads.build ~n ~base fam ~seed:7 in
+      let p = Nd_algos.Workload.compile w in
+      check_cost_matches_exact
+        ~what:(Printf.sprintf "%s n=%d base=%d" name n base)
+        p)
+    workload_cases
+
+(* -------------- Cost at paper scale: pinned golden table -------------- *)
+
+let test_cost_paper_scale_golden () =
+  (* mm and apsp at n=512 — the apsp DAG (~98k vertices) is past the
+     exact Race cap, which is the point of the structural pass.  The DAG
+     still compiles (only the quadratic reachability refuses), so the
+     differential identity holds even here; the pinned numbers guard
+     against silent drift of either path. *)
+  let golden =
+    (* (algo, n, base, work, span, root_size, q_star at m=1365) *)
+    [
+      ("mm", 512, 16, 134_217_728, 131_072, 786_432, 20_987_903);
+      ("apsp", 512, 16, 134_217_728, 2_752_512, 262_144, 20_430_739);
+    ]
+  in
+  List.iter
+    (fun (name, n, base, work, span, root_size, q1365) ->
+      let fam = Nd_experiments.Workloads.find name in
+      let w = Nd_experiments.Workloads.build ~n ~base fam ~seed:7 in
+      let p = Nd_algos.Workload.compile w in
+      if Nd_dag.Dag.n_vertices (Program.dag p) <= Race.default_max_vertices
+      then
+        Alcotest.failf "%s n=%d is not past the exact race cap" name n;
+      check_cost_matches_exact ~what:(Printf.sprintf "%s n=%d" name n) p;
+      let cost = Cost.of_program p in
+      let r = Cost.report cost in
+      Printf.printf "GOLDEN %s n=%d base=%d: work=%d span=%d root=%d q1365=%d vertices=%d shapes=%d\n%!"
+        name n base r.Cost.work r.Cost.span r.Cost.root_size
+        (Cost.q_star cost ~m:1365)
+        (Nd_dag.Dag.n_vertices (Program.dag p)) r.Cost.n_shapes;
+      if work >= 0 then begin
+        Alcotest.(check int) (name ^ " work") work r.Cost.work;
+        Alcotest.(check int) (name ^ " span") span r.Cost.span;
+        Alcotest.(check int) (name ^ " root size") root_size r.Cost.root_size;
+        Alcotest.(check int) (name ^ " Q*(1365)") q1365
+          (Cost.q_star cost ~m:1365)
+      end)
+    golden
+
+(* -------------------- race cap: per-call override -------------------- *)
+
+let test_race_max_vertices_override () =
+  let w =
+    Nd_experiments.Workloads.build ~n:8 ~base:2
+      (Nd_experiments.Workloads.find "mm") ~seed:7
+  in
+  let p = Nd_algos.Workload.compile w in
+  let dag = Program.dag p in
+  let n = Nd_dag.Dag.n_vertices dag in
+  if n <= 4 then Alcotest.fail "mm n=8 unexpectedly tiny";
+  (match Race.find_races ~max_vertices:4 dag with
+  | exception Race.Limit_exceeded { vertices; limit } ->
+    Alcotest.(check int) "vertices" n vertices;
+    Alcotest.(check int) "override cap" 4 limit
+  | _ -> Alcotest.fail "lowered cap did not trip");
+  (* a raised per-call cap admits the program *)
+  Alcotest.(check bool) "race free under raised cap" true
+    (Race.race_free ~max_vertices:(n + 1) dag)
+
 (* ----------------------------- registry ------------------------------ *)
 
 let () =
@@ -365,5 +612,27 @@ let () =
             test_lint_shipped_sets_clean;
           Alcotest.test_case "JSON round-trip" `Quick
             test_lint_json_roundtrip;
+          Alcotest.test_case "JSON extended catalogue + rejection" `Quick
+            test_lint_json_extended_catalogue;
+          Alcotest.test_case "structural cost catalogue" `Quick
+            test_lint_cost_catalogue;
+          Alcotest.test_case "span sweep (ND010)" `Quick
+            test_lint_span_sweep_catalogue;
+          Alcotest.test_case "min-severity filter" `Quick
+            test_lint_min_severity_filter;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "matches exact: generated corpus" `Slow
+            test_cost_matches_exact_corpus;
+          Alcotest.test_case "matches exact: workloads" `Quick
+            test_cost_matches_exact_workloads;
+          Alcotest.test_case "paper-scale golden" `Slow
+            test_cost_paper_scale_golden;
+        ] );
+      ( "race-cap",
+        [
+          Alcotest.test_case "per-call max_vertices override" `Quick
+            test_race_max_vertices_override;
         ] );
     ]

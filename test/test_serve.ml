@@ -125,6 +125,8 @@ let all_requests : P.envelope list =
     { id = 3; req = P.Lint wk_min };
     { id = 4; req = P.Race wk };
     { id = 5; req = P.Simulate { wk; top = 2; fine = true } };
+    { id = 10; req = P.Analyze { wk; top = 2 } };
+    { id = 11; req = P.Analyze { wk = wk_min; top = 1 } };
     { id = 6; req = P.Fuzz { count = 5; seed = 99; max_depth = 4 } };
     { id = 7; req = P.Suite { exp = "overview" } };
     { id = 8; req = P.Stats };
@@ -582,6 +584,18 @@ let test_server_end_to_end () =
   (match member_exn "time" sim with
   | Json.Int t when t > 0 -> ()
   | j -> Alcotest.failf "bad simulate time: %s" (Json.to_string j));
+  (* structural cost analysis: report + Theorem-1 certification *)
+  let ana = Client.call_exn conn (P.Analyze { wk; top = 1 }) in
+  let report = member_exn "report" ana in
+  (match member_exn "work" report with
+  | Json.Int w when w > 0 -> ()
+  | j -> Alcotest.failf "bad analyze work: %s" (Json.to_string j));
+  (match member_exn "certified" (member_exn "certification" ana) with
+  | Json.Bool true -> ()
+  | j -> Alcotest.failf "mm not certified: %s" (Json.to_string j));
+  let ana2 = Client.call_exn conn (P.Analyze { wk; top = 1 }) in
+  Alcotest.(check string) "analyze deterministic" (Json.to_string ana)
+    (Json.to_string ana2);
   (* errors come back as error responses, not dead connections *)
   (match
      (Client.call conn (P.Lint { wk with algo = "nope" })).P.result
@@ -599,6 +613,14 @@ let test_server_end_to_end () =
   (match member_exn "hits" lint_cache with
   | Json.Int h when h >= 1 -> ()
   | j -> Alcotest.failf "lint cache hits: %s" (Json.to_string j));
+  (* the second analyze call above must have hit the analyze cache *)
+  let cost_cache =
+    Json.to_list (member_exn "caches" stats)
+    |> List.find (fun c -> member_exn "name" c = Json.String "analyze")
+  in
+  (match member_exn "hits" cost_cache with
+  | Json.Int h when h >= 1 -> ()
+  | j -> Alcotest.failf "analyze cache hits: %s" (Json.to_string j));
   (match member_exn "lint" (member_exn "latency_ns" stats) with
   | j -> (
     match member_exn "count" j with
