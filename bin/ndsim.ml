@@ -532,7 +532,7 @@ let trace_cmd =
     Arg.(value & opt string "sb"
          & info [ "sched" ] ~docv:"SCHED"
              ~doc:"Execution path to trace: $(b,sb), $(b,ws), $(b,serial), \
-                   $(b,dataflow) or $(b,forkjoin).")
+                   $(b,dataflow), $(b,forkjoin) or $(b,fiber).")
   in
   let out_arg =
     Arg.(value & opt string "trace.json"
@@ -607,8 +607,25 @@ let trace_cmd =
         Nd_runtime.Executor.run_fork_join ~workers:nw ?grain ~tracer:t p;
         Format.printf "forkjoin: workers=%d max err=%g@." nw (w.Workload.check ());
         (t, true)
+      | "fiber" ->
+        let nw =
+          match workers with
+          | Some w -> max 1 w
+          | None -> Nd_runtime.Executor.default_workers ()
+        in
+        let t = Nd_trace.Collector.wallclock ~workers:nw () in
+        w.Workload.reset ();
+        let s = Nd_runtime.Fiber_exec.run_program ~workers:nw ?grain ~tracer:t p in
+        Format.printf
+          "fiber: workers=%d fibers=%d suspensions=%d steals=%d \
+           peak_blocked=%d max err=%g@."
+          nw s.Nd_runtime.Fiber_exec.fibers s.Nd_runtime.Fiber_exec.suspensions
+          s.Nd_runtime.Fiber_exec.steals s.Nd_runtime.Fiber_exec.peak_blocked
+          (w.Workload.check ());
+        (t, true)
       | other ->
-        die_usage "unknown scheduler %s (want sb|ws|serial|dataflow|forkjoin)"
+        die_usage
+          "unknown scheduler %s (want sb|ws|serial|dataflow|forkjoin|fiber)"
           other
     in
     finish_trace tracer out;
@@ -807,6 +824,78 @@ let fuzz_cmd =
     Term.(const run $ count_arg $ fuzz_seed_arg $ depth_arg $ replay_arg
           $ workers_arg $ failures_arg)
 
+(* ------------------------------- run -------------------------------- *)
+
+let run_cmd =
+  let module Backend = Nd_runtime.Backend in
+  let backend_arg =
+    let doc =
+      Printf.sprintf
+        "Real-executor backend: one of %s.  $(b,fiber) runs each strand as \
+         an effect-handler fiber that suspends on fire-edge waits instead \
+         of occupying a worker."
+        (String.concat ", " Backend.names)
+    in
+    Arg.(value & opt string "dataflow" & info [ "backend" ] ~docv:"B" ~doc)
+  in
+  let workers_arg =
+    Arg.(value & opt (some int) None
+         & info [ "workers"; "w" ] ~docv:"W"
+             ~doc:"Worker domains (default: \\$(b,NDSIM_WORKERS) or the core \
+                   count).")
+  in
+  let grain_arg =
+    Arg.(value & opt int 0
+         & info [ "grain" ] ~docv:"G"
+             ~doc:"Leaf-coarsening work threshold: program subtrees with \
+                   total work <= G run serially on one worker (0: vertex \
+                   granularity).")
+  in
+  let run algo n base seed np backend workers grain =
+    match Backend.find backend with
+    | None ->
+      die_usage "unknown backend %s; expected one of %s" backend
+        (String.concat ", " Backend.names)
+    | Some (module B : Backend.S) ->
+      let w = build_workload algo n base seed in
+      let p = Workload.compile ~mode:(mode_of np) w in
+      let nw =
+        match workers with
+        | Some w -> max 1 w
+        | None -> Nd_runtime.Executor.default_workers ()
+      in
+      w.Workload.reset ();
+      let t0 = Unix.gettimeofday () in
+      let fiber_stats =
+        if String.equal B.name "fiber" then
+          Some (Nd_runtime.Fiber_exec.run_program ~workers:nw ~grain p)
+        else begin
+          B.run ~workers:nw ~grain p;
+          None
+        end
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%s %s n=%d base=%d: workers=%d grain=%d %.4fs max err=%g@."
+        B.name w.Workload.name w.Workload.n w.Workload.base nw grain dt
+        (w.Workload.check ());
+      match fiber_stats with
+      | None -> ()
+      | Some s ->
+        Format.printf
+          "fiber: %d fibers, %d completed, %d suspensions, %d steals, peak \
+           blocked %d@."
+          s.Nd_runtime.Fiber_exec.fibers s.Nd_runtime.Fiber_exec.completed
+          s.Nd_runtime.Fiber_exec.suspensions s.Nd_runtime.Fiber_exec.steals
+          s.Nd_runtime.Fiber_exec.peak_blocked
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute an algorithm on a real multicore backend (forkjoin, \
+             dataflow, or the effects-based fiber scheduler) and report \
+             wall-clock time plus the numerical check.")
+    Term.(const run $ algo_arg $ n_arg $ base_arg $ seed_arg $ np_arg
+          $ backend_arg $ workers_arg $ grain_arg)
+
 (* ------------------------------ serve ------------------------------ *)
 
 let socket_arg =
@@ -834,6 +923,12 @@ let serve_cmd =
              ~doc:"Reject request frames above this payload size.")
   in
   let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No banner.") in
+  let fiber_pool_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fiber-pool" ] ~docv:"W"
+             ~doc:"Run request handlers as effect-handler fibers on one \
+                   shared W-worker pool instead of the named micropools.")
+  in
   let parse_pool s =
     match String.index_opt s '=' with
     | Some i -> (
@@ -846,7 +941,10 @@ let serve_cmd =
       | _ -> die_usage "bad --pool %s (want analyze|simulate|fuzz=SIZE)" s)
     | None -> die_usage "bad --pool %s (want analyze|simulate|fuzz=SIZE)" s
   in
-  let run addr pools shards max_frame quiet =
+  let run addr pools shards max_frame quiet fiber_pool =
+    (match fiber_pool with
+    | Some w when w < 1 -> die_usage "bad --fiber-pool %d (want >= 1)" w
+    | _ -> ());
     let cfg =
       {
         (Server.default_config (Nd_serve.Protocol.addr_of_string addr)) with
@@ -854,6 +952,7 @@ let serve_cmd =
         shards = max 1 shards;
         max_frame = max 1024 max_frame;
         quiet;
+        fiber_pool;
       }
     in
     match Server.run cfg with
@@ -871,7 +970,7 @@ let serve_cmd =
              micropools with keyed artifact caches.  Send a \
              $(b,{\"kind\":\"shutdown\"}) request (or SIGINT) to stop.")
     Term.(const run $ socket_arg $ pool_arg $ shards_arg $ max_frame_arg
-          $ quiet_arg)
+          $ quiet_arg $ fiber_pool_arg)
 
 (* ----------------------------- loadgen ----------------------------- *)
 
@@ -997,7 +1096,7 @@ let () =
       (Cmd.group info
          [ span_cmd; race_cmd; lint_cmd; analyze_cmd; sb_cmd; sched_cmd;
            check_cmd; drs_cmd; trace_cmd; experiments_cmd; suite_cmd;
-           fuzz_cmd; serve_cmd; loadgen_cmd ])
+           fuzz_cmd; run_cmd; serve_cmd; loadgen_cmd ])
   in
   (* cmdliner reports CLI misuse — unknown subcommand, bad flag — as
      its [cli_error] code (124) after printing usage on stderr; fold it

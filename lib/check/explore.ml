@@ -1,6 +1,7 @@
 module Deque = Nd_runtime.Deque
 module Executor = Nd_runtime.Executor
 module Engine = Nd_runtime.Executor.Engine
+module Fiber = Nd_runtime.Fiber_exec
 module Prng = Nd_util.Prng
 
 type mode =
@@ -31,10 +32,21 @@ type fstate =
 
 exception Stuck of string
 
+exception Cancelled
+
 (* Run one complete schedule: [choose n] picks among the [n] currently
-   live fibers at every preemption point.  The deque yield hook is
-   installed for the duration, so fibers suspend between the individual
-   loads/stores of every deque operation. *)
+   live fibers at every preemption point.  The deque and fiber-runtime
+   yield hooks are installed for the duration, so fibers suspend
+   between the individual loads/stores of every deque operation and at
+   the promise park/take windows of the fiber scheduler.
+
+   When a schedule aborts early — a fiber body raises, or [Stuck]
+   fires — the fibers still [Suspended] hold live one-shot
+   continuations whose [Fun.protect] finalizers would otherwise never
+   run; across the thousands of schedules a fuzz run replays that is a
+   real leak.  The [~finally] below discontinues every one of them
+   with [Cancelled] (after clearing the hooks, so unwinding cannot
+   yield back into the dead schedule). *)
 let run_schedule ~choose ~max_steps (bodies : (unit -> unit) array) =
   let n = Array.length bodies in
   let state = Array.map (fun f -> Fresh f) bodies in
@@ -81,9 +93,26 @@ let run_schedule ~choose ~max_steps (bodies : (unit -> unit) array) =
       | Finished -> assert false);
       true
   in
-  Deque.Hooks.set_yield (Some (fun _label -> Effect.perform Yield));
+  let cancel_suspended () =
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Suspended k -> (
+          state.(i) <- Finished;
+          try Effect.Deep.discontinue k Cancelled with
+          | Cancelled -> ()
+          | Stuck _ -> ())
+        | Fresh _ | Finished -> ())
+      state
+  in
+  let yf _label = Effect.perform Yield in
+  Deque.Hooks.set_yield (Some yf);
+  Fiber.Hooks.set_yield (Some yf);
   Fun.protect
-    ~finally:(fun () -> Deque.Hooks.set_yield None)
+    ~finally:(fun () ->
+      Deque.Hooks.set_yield None;
+      Fiber.Hooks.set_yield None;
+      cancel_suspended ())
     (fun () ->
       while step () do
         ()
@@ -195,6 +224,41 @@ let explore_program ?(workers = 2) ?(grain = 0) ~mode
         Error
           (Printf.sprintf "engine stopped with %d tasks remaining"
              (Engine.remaining eng))
+      else check ()
+    in
+    (bodies, check)
+  in
+  drive ~mode ~max_steps make
+
+(* ---------------------- fiber-pool exploration ---------------------- *)
+
+(* Worker bodies over the fiber scheduler's engine mode.  A body gives
+   up not only when the pool finished but also when it stalled (every
+   live fiber parked, every queue empty): under a lost-wakeup bug the
+   pool can never finish, and [stalled] is exact on a single domain, so
+   the schedule terminates deterministically and the post-run check
+   reports the leaked fibers instead of the run spinning to the
+   max-steps guard. *)
+let fiber_bodies pool =
+  let nw = Fiber.n_workers pool in
+  Array.init nw (fun wid () ->
+      while not (Fiber.finished pool || Fiber.stalled pool) do
+        if not (Fiber.try_advance pool wid) then Effect.perform Yield
+      done)
+
+let explore_fiber_program ?(workers = 2) ?(grain = 0) ~mode
+    ?(reset = fun () -> ()) ?(check = fun () -> Ok ()) ?tracer program =
+  let n_tasks = Nd_dag.Dag.n_vertices (Nd.Program.dag program) in
+  let max_steps = 20_000 + (400 * (n_tasks + 1) * workers) in
+  let make () =
+    reset ();
+    let pool = Fiber.make_engine ~workers ~grain ?tracer program in
+    let bodies = fiber_bodies pool in
+    let check () =
+      if not (Fiber.finished pool) then
+        Error
+          (Printf.sprintf "fiber pool stalled with %d fibers remaining"
+             (Fiber.remaining pool))
       else check ()
     in
     (bodies, check)

@@ -61,6 +61,28 @@ val explore_program :
   Nd.Program.t ->
   (stats, failure) result
 
+(** [explore_fiber_program] — as {!explore_program} but over the fiber
+    backend's engine mode ({!Nd_runtime.Fiber_exec.make_engine}): one
+    body per worker advances the pool with
+    {!Nd_runtime.Fiber_exec.try_advance}, and the fiber runtime's
+    promise-transition hook ({!Nd_runtime.Fiber_exec.Hooks.set_yield})
+    adds preemption points inside the park/take windows.  The explorer
+    never registers a domain as a pool worker, so every fiber hand-off
+    routes through the pool's synchronized injector and the schedule
+    stays a pure function of the controller's choices.  A schedule
+    under which the pool stalls (every live fiber parked — e.g. a lost
+    wake-up) terminates deterministically and fails the post-run
+    check. *)
+val explore_fiber_program :
+  ?workers:int ->
+  ?grain:int ->
+  mode:mode ->
+  ?reset:(unit -> unit) ->
+  ?check:(unit -> (unit, string) result) ->
+  ?tracer:Nd_trace.Collector.t ->
+  Nd.Program.t ->
+  (stats, failure) result
+
 (** [explore_deque ~mode ?n_thieves ?pushes ()] explores the deque in
     isolation: one owner fiber pushes [pushes] items (popping every
     fourth), [n_thieves] thief fibers steal concurrently, crossing

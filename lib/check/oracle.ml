@@ -4,7 +4,7 @@ module Pmh = Nd_pmh.Pmh
 module Greedy = Nd_sched.Greedy
 module Sb = Nd_sched.Sb_sched
 module Ws = Nd_sched.Work_steal
-module Executor = Nd_runtime.Executor
+module Backend = Nd_runtime.Backend
 module Prng = Nd_util.Prng
 module Cost = Nd_analyze.Cost
 
@@ -242,36 +242,44 @@ let check_executing cfg program ~reset ~verify =
       (Printf.sprintf "serial order=%d" i)
       (fun () -> Nd.Serial_exec.run ~rng:(Prng.create (0x5e1 + i)) program)
   done;
-  (* real executors: dataflow (ND) and fork-join (NP projection; a
-     linear extension of the same DAG, so the same oracle applies) *)
+  (* every registered real backend: dataflow (ND), fork-join (the NP
+     projection — a linear extension of the same DAG, so the same
+     oracle applies) and the fiber scheduler, three-way on every
+     case *)
   List.iter
     (fun w ->
       List.iter
         (fun g ->
-          run_path
-            (Printf.sprintf "dataflow w=%d g=%d" w g)
-            (fun () -> Executor.run_dataflow ~workers:w ~grain:g program);
-          run_path
-            (Printf.sprintf "forkjoin w=%d g=%d" w g)
-            (fun () -> Executor.run_fork_join ~workers:w ~grain:g program))
+          List.iter
+            (fun (module B : Backend.S) ->
+              run_path
+                (Printf.sprintf "%s w=%d g=%d" B.name w g)
+                (fun () -> B.run ~workers:w ~grain:g program))
+            Backend.all)
         cfg.grains)
     cfg.exec_workers;
-  (* controlled interleavings of the dataflow engine *)
+  (* controlled interleavings of the dataflow engine and of the fiber
+     scheduler *)
   if cfg.explore_seeds <> [] then begin
-    incr paths;
-    let check () =
-      match verify "explore" with
-      | () -> Ok ()
-      | exception Fail f -> Error f.message
+    let explored stage explore =
+      incr paths;
+      let check () =
+        match verify stage with
+        | () -> Ok ()
+        | exception Fail f -> Error f.message
+      in
+      match
+        explore ~workers:2
+          ~mode:(Explore.Random { seeds = cfg.explore_seeds })
+          ~reset ~check program
+      with
+      | Ok _ -> ()
+      | Error f -> fail stage "%s" (Format.asprintf "%a" Explore.pp_failure f)
     in
-    match
-      Explore.explore_program ~workers:2
-        ~mode:(Explore.Random { seeds = cfg.explore_seeds })
-        ~reset ~check program
-    with
-    | Ok _ -> ()
-    | Error f ->
-      fail "explore" "%s" (Format.asprintf "%a" Explore.pp_failure f)
+    explored "explore" (fun ~workers ~mode ~reset ~check program ->
+        Explore.explore_program ~workers ~mode ~reset ~check program);
+    explored "explore-fiber" (fun ~workers ~mode ~reset ~check program ->
+        Explore.explore_fiber_program ~workers ~mode ~reset ~check program)
   end;
   !paths
 

@@ -362,9 +362,13 @@ let e9_runtime () =
     Table.create
       ~title:
         (Printf.sprintf
-           "E9: multicore wall-clock (workers=%d), serial vs ND dataflow vs NP fork-join"
+           "E9: multicore wall-clock (workers=%d), serial vs ND dataflow vs NP \
+            fork-join vs fiber"
            workers)
-      [ "algo"; "n"; "grain"; "serial s"; "ND s"; "NP s"; "speedup ND"; "max err" ]
+      [
+        "algo"; "n"; "grain"; "serial s"; "ND s"; "NP s"; "fiber s";
+        "speedup ND"; "max err";
+      ]
   in
   List.iter
     (fun (name, n, base, grain) ->
@@ -385,6 +389,7 @@ let e9_runtime () =
       let ts, e0 = best (fun p -> Nd.Serial_exec.run p) in
       let tnd, e1 = best (Nd_runtime.Executor.run_dataflow ~workers ~grain) in
       let tnp, e2 = best (Nd_runtime.Executor.run_fork_join ~workers ~grain) in
+      let tfb, e3 = best (Nd_runtime.Fiber_exec.run ~workers ~grain) in
       Table.add_row t
         [
           name;
@@ -393,8 +398,10 @@ let e9_runtime () =
           Table.cell_float ~prec:4 ts;
           Table.cell_float ~prec:4 tnd;
           Table.cell_float ~prec:4 tnp;
+          Table.cell_float ~prec:4 tfb;
           Table.cell_float ~prec:2 (ts /. tnd);
-          Printf.sprintf "%.3g" (Float.max e0 (Float.max e1 e2));
+          Printf.sprintf "%.3g"
+            (Float.max (Float.max e0 e1) (Float.max e2 e3));
         ])
     [
       ("mm", 128, 16, 0);

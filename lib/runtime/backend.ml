@@ -1,0 +1,35 @@
+module type S = sig
+  val name : string
+
+  val run :
+    ?workers:int ->
+    ?grain:int ->
+    ?tracer:Nd_trace.Collector.t ->
+    Nd.Program.t ->
+    unit
+end
+
+module Forkjoin : S = struct
+  let name = "forkjoin"
+
+  let run = Executor.run_fork_join
+end
+
+module Dataflow : S = struct
+  let name = "dataflow"
+
+  let run = Executor.run_dataflow
+end
+
+module Fiber : S = struct
+  let name = "fiber"
+
+  let run = Fiber_exec.run
+end
+
+let all : (module S) list = [ (module Forkjoin); (module Dataflow); (module Fiber) ]
+
+let names = List.map (fun (module B : S) -> B.name) all
+
+let find n =
+  List.find_opt (fun (module B : S) -> String.equal B.name n) all

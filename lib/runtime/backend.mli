@@ -1,0 +1,37 @@
+(** The shared signature every real executor implements, and the
+    registry enumerating them.
+
+    All three backends run the same compiled program under the same
+    optional [workers]/[grain]/[tracer] contract (they all schedule
+    {!Executor.task_graph} tasks, or a projection of them), so
+    differential checks and CLI surfaces iterate [all] instead of
+    hard-coding executor pairs: {!Nd_check.Oracle} runs every fuzz
+    case through every backend, and [ndsim run --backend] resolves
+    names through {!find}. *)
+
+module type S = sig
+  val name : string
+
+  val run :
+    ?workers:int ->
+    ?grain:int ->
+    ?tracer:Nd_trace.Collector.t ->
+    Nd.Program.t ->
+    unit
+end
+
+(** Fork–join (NP projection) — {!Executor.run_fork_join}. *)
+module Forkjoin : S
+
+(** Dep-counter dataflow (ND) — {!Executor.run_dataflow}. *)
+module Dataflow : S
+
+(** Effects-based fibers (ND) — {!Fiber_exec.run}. *)
+module Fiber : S
+
+(** In registration order: forkjoin, dataflow, fiber. *)
+val all : (module S) list
+
+val names : string list
+
+val find : string -> (module S) option

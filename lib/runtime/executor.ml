@@ -346,26 +346,58 @@ let act program ~tracer ~traced wid v =
     | Program.Leaf s -> exec_strand ~tracer ~traced wid v s
     | Program.Seq | Program.Par | Program.Fire _ -> ()
 
-let make_engine ?workers ?(grain = 0) ?(tracer = Trace.null) program =
-  let nw = match workers with Some w -> max 1 w | None -> default_workers () in
+(* The compiled, backend-neutral view of one run: tasks in a CSR
+   dependency graph plus the closure that executes one task.  Both the
+   dep-counter engine and the fiber backend consume this, so a grain
+   setting or a tracer means exactly the same thing under every
+   backend.  [indeg] is read-only shared state: consumers must copy
+   before mutating (the engine maps it into fresh atomics). *)
+type task_graph = {
+  tg_tasks : int;
+  tg_succ_off : int array;
+  tg_succ_tgt : int array;
+  tg_indeg : int array;
+  tg_exec : int -> int -> unit;
+  tg_steal_vertex : int -> int option;
+}
+
+let task_graph ?(grain = 0) ?(tracer = Trace.null) program =
   let traced = Trace.enabled tracer in
   if grain > 0 then
     let plan = coarse_plan program ~grain in
-    Engine.make_raw ~nw ~tracer ~traced ~succ_off:plan.succ_off
-      ~succ_tgt:plan.succ_tgt ~indeg0:plan.indeg
-      ~exec:(fun wid t ->
-        match plan.kinds.(t) with
-        | Tvertex v -> act program ~tracer ~traced wid v
-        | Tleaves { lo; hi } ->
-          exec_leaf_range program ~tracer ~traced wid lo hi)
-      ~steal_vertex:(fun t ->
-        match plan.kinds.(t) with Tvertex v -> Some v | Tleaves _ -> None)
+    {
+      tg_tasks = Array.length plan.indeg;
+      tg_succ_off = plan.succ_off;
+      tg_succ_tgt = plan.succ_tgt;
+      tg_indeg = plan.indeg;
+      tg_exec =
+        (fun wid t ->
+          match plan.kinds.(t) with
+          | Tvertex v -> act program ~tracer ~traced wid v
+          | Tleaves { lo; hi } ->
+            exec_leaf_range program ~tracer ~traced wid lo hi);
+      tg_steal_vertex =
+        (fun t ->
+          match plan.kinds.(t) with Tvertex v -> Some v | Tleaves _ -> None);
+    }
   else
     let c = Dag.csr (Program.dag program) in
-    Engine.make_raw ~nw ~tracer ~traced ~succ_off:c.Dag.succ_off
-      ~succ_tgt:c.Dag.succ_tgt ~indeg0:c.Dag.indeg
-      ~exec:(act program ~tracer ~traced)
-      ~steal_vertex:(fun v -> Some v)
+    {
+      tg_tasks = Array.length c.Dag.indeg;
+      tg_succ_off = c.Dag.succ_off;
+      tg_succ_tgt = c.Dag.succ_tgt;
+      tg_indeg = c.Dag.indeg;
+      tg_exec = act program ~tracer ~traced;
+      tg_steal_vertex = (fun v -> Some v);
+    }
+
+let make_engine ?workers ?grain ?(tracer = Trace.null) program =
+  let nw = match workers with Some w -> max 1 w | None -> default_workers () in
+  let traced = Trace.enabled tracer in
+  let g = task_graph ?grain ~tracer program in
+  Engine.make_raw ~nw ~tracer ~traced ~succ_off:g.tg_succ_off
+    ~succ_tgt:g.tg_succ_tgt ~indeg0:g.tg_indeg ~exec:g.tg_exec
+    ~steal_vertex:g.tg_steal_vertex
 
 let run_dataflow ?workers ?grain ?(tracer = Trace.null) program =
   let eng = make_engine ?workers ?grain ~tracer program in

@@ -126,3 +126,44 @@ val make_engine :
   ?tracer:Nd_trace.Collector.t ->
   Nd.Program.t ->
   Engine.t
+
+(** {2 Backend plumbing}
+
+    Shared between this module's two executors and {!Fiber_exec}, so
+    every backend schedules the same tasks, honours [grain]
+    identically, and emits identical strand/steal trace events. *)
+
+(** The compiled, backend-neutral view of one run: [tg_tasks] tasks
+    (DAG vertices at [grain = 0], coarse tasks otherwise) whose
+    dependencies are the CSR [tg_succ_off]/[tg_succ_tgt] with
+    in-degrees [tg_indeg], and [tg_exec wid t] executing task [t] on
+    worker [wid].  [tg_steal_vertex t] is the representative DAG vertex
+    for steal trace events ([None] for coarse leaf-range tasks).
+    [tg_indeg] may be shared with the program's cached CSR — treat it
+    as read-only. *)
+type task_graph = {
+  tg_tasks : int;
+  tg_succ_off : int array;
+  tg_succ_tgt : int array;
+  tg_indeg : int array;
+  tg_exec : int -> int -> unit;
+  tg_steal_vertex : int -> int option;
+}
+
+(** [task_graph ?grain ?tracer program] compiles [program] to the task
+    graph every backend runs: grain coarsening (or the raw DAG CSR)
+    plus the tracing-aware strand execution closure. *)
+val task_graph :
+  ?grain:int -> ?tracer:Nd_trace.Collector.t -> Nd.Program.t -> task_graph
+
+(** [spin_cap ~nw] — failed-sweep count at which an idle worker's
+    backoff escalates from [cpu_relax] bursts to short sleeps; nearly
+    immediate when [nw] oversubscribes the machine.  Exposed for
+    backends implemented outside this module. *)
+val spin_cap : nw:int -> int
+
+(** [backoff ~spin_cap spin] — one step of the shared idle-loop backoff
+    policy: increments [spin] and either spins with [cpu_relax] bursts
+    or sleeps (capped at 1ms) once past [spin_cap].  Reset [spin] to 0
+    on any successful dequeue. *)
+val backoff : spin_cap:int -> int ref -> unit

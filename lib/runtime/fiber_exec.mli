@@ -1,0 +1,187 @@
+(** Effects-based fiber executor: the third real backend.
+
+    The paper's schedulers assume a worker never burns its slot waiting
+    on a fire edge; the fork–join backend serializes fires away and the
+    dep-counter backend spins on enabling.  Here every task of the
+    compiled {!Executor.task_graph} is a {e fiber} — a lightweight
+    thread implemented with OCaml 5 effect handlers — that [await]s a
+    {!promise} per predecessor and [fulfill]s its own on completion.  A
+    wait on an unfulfilled promise captures the fiber's continuation
+    into the promise's waiter list and returns the worker to its
+    scheduling loop, so a blocked fire edge costs no worker at all; the
+    matching [fulfill] re-queues the continuation.
+
+    Scheduling is per-domain Chase–Lev deques ({!Deque}) with stealing,
+    plus one synchronized injector for external submissions and for
+    resumptions crossing in from non-worker threads.  The scheduler
+    protocol is three effects — [Sched] (spawn), [Await], [Fulfill] —
+    performed by fibers and interpreted by the per-pool handler; the
+    handler resolves "my deque" through domain-local state, because a
+    parked fiber may be resumed by any worker of the pool.
+
+    Promises are single SC-atomic cells ([Pending waiters] →
+    [Fulfilled v]), which carries the cross-domain memory-model
+    argument: the fulfilling domain's prior writes happen-before the
+    fulfilling CAS, which happens-before the resumed fiber runs
+    (either inline after observing [Fulfilled], or through a
+    synchronized run queue).  See DESIGN.md §15. *)
+
+type t
+(** A fiber pool: either a one-shot program run ({!make_engine} /
+    {!run_program}) or a long-lived server pool ({!create}). *)
+
+type 'a promise
+
+(** Raised by worker 0 of {!run_program} when every live fiber is
+    parked and every queue is empty — the fiber-level image of a
+    cyclic or unfulfillable wait. *)
+exception Deadlock of { blocked : int }
+
+(** Raised by {!submit} after {!shutdown}. *)
+exception Closed
+
+type stats = {
+  workers : int;
+  fibers : int;  (** fibers ever spawned (tasks, submissions, spawns) *)
+  completed : int;  (** fibers finished (including erroring ones) *)
+  suspensions : int;  (** times a fiber parked on an unfulfilled promise *)
+  steals : int;  (** successful deque steals *)
+  peak_blocked : int;  (** high-water mark of simultaneously parked fibers *)
+  blocked : int;  (** fibers parked right now *)
+  errors : int;  (** fibers whose body raised (non-fatal) *)
+}
+
+(** {2 Promises}
+
+    Usable from any thread; {!await} additionally works outside a fiber
+    only on an already-fulfilled promise (it cannot park). *)
+
+val promise : unit -> 'a promise
+
+(** [fulfill p v] — fulfill [p] and re-queue every parked waiter on the
+    pool that parked it.  @raise Invalid_argument on a second fulfill. *)
+val fulfill : 'a promise -> 'a -> unit
+
+(** [await p] — the promise's value; parks the calling fiber until
+    fulfilled.  @raise Invalid_argument outside a fiber when [p] is
+    not yet fulfilled. *)
+val await : 'a promise -> 'a
+
+val peek : 'a promise -> 'a option
+
+(** {2 Fiber operations} *)
+
+(** [spawn f] — a new fiber of the current pool, queued on the current
+    worker's deque.  @raise Invalid_argument outside a fiber. *)
+val spawn : (unit -> unit) -> unit
+
+(** Reschedule the current fiber behind its worker's queued work; a
+    no-op outside a fiber. *)
+val yield : unit -> unit
+
+(** Worker index of the calling domain in its pool, [None] off-pool.
+    Stable across [await] only on single-worker pools — a resumed
+    fiber may run anywhere. *)
+val self : unit -> int option
+
+(** {2 Running programs} *)
+
+(** [run_program ?workers ?grain ?tracer program] executes the compiled
+    program as one fiber per task of {!Executor.task_graph} (so [grain]
+    and [tracer] mean exactly what they do for the other backends) and
+    returns the pool's counters.  Strand/steal/spawn trace events match
+    {!Executor.run_dataflow}'s.  A fiber body raising aborts the run
+    and re-raises; an unfulfillable wait raises {!Deadlock} instead of
+    hanging. *)
+val run_program :
+  ?workers:int ->
+  ?grain:int ->
+  ?tracer:Nd_trace.Collector.t ->
+  Nd.Program.t ->
+  stats
+
+(** {!run_program} with the result ignored — the {!Backend.S}-shaped
+    entry point. *)
+val run :
+  ?workers:int ->
+  ?grain:int ->
+  ?tracer:Nd_trace.Collector.t ->
+  Nd.Program.t ->
+  unit
+
+(** {2 Long-lived server pools}
+
+    {!Micropool}-shaped: domains spawn lazily on first {!submit}, each
+    submission runs as a root fiber, errors are counted and retained
+    rather than fatal (except [Out_of_memory]/[Stack_overflow]/
+    [Assert_failure], which kill the worker and re-raise at
+    {!shutdown}'s join). *)
+
+val create : ?workers:int -> ?name:string -> unit -> t
+
+val name : t -> string
+
+val started : t -> bool
+
+(** @raise Closed after {!shutdown}. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Close the injector, drain, finish in-flight fibers, join the
+    domains.  Idempotent. *)
+val shutdown : t -> unit
+
+val stats : t -> stats
+
+(** [Printexc.to_string] of the most recent non-fatal fiber error. *)
+val last_error : t -> string option
+
+(** {2 Engine mode}
+
+    The scheduler as a hand-advanced value, mirroring
+    {!Executor.Engine}: [make_engine] seeds one fiber per task onto the
+    deques without spawning domains, and [try_advance] runs one
+    scheduling step.  [Nd_check.Explore] drives this from a
+    single-domain controlled scheduler; with no domain registered as a
+    worker, every hand-off routes through the synchronized injector,
+    so a schedule (plus the seed) fully determines the run. *)
+
+val make_engine :
+  ?workers:int ->
+  ?grain:int ->
+  ?tracer:Nd_trace.Collector.t ->
+  Nd.Program.t ->
+  t
+
+val n_workers : t -> int
+
+val remaining : t -> int
+
+val finished : t -> bool
+
+(** Every live fiber is parked and every queue is empty: no step can
+    make progress, ever.  Exact under the single-domain explorer. *)
+val stalled : t -> bool
+
+(** [try_advance t wid] — one scheduling step for worker [wid]: pop own
+    deque, else steal, else take from the injector; runs the fiber
+    slice on success.  [false] when nothing was runnable. *)
+val try_advance : t -> int -> bool
+
+(** {2 Test-only hooks}
+
+    Verification seams for the conformance harness; never set in
+    production code (mirrors {!Deque.Hooks}). *)
+module Hooks : sig
+  (** Preemption callback invoked between the load and the store of
+      the promise park ("await-park") and take ("fulfill-take")
+      transitions — the explorer performs an effect there to schedule
+      around the exact windows where a lost wake-up could hide. *)
+  val set_yield : (string -> unit) option -> unit
+
+  (** [set_lost_wakeup true] replaces the park's compare-and-set with a
+      blind store, re-introducing the classic lost-wakeup bug: a
+      fulfill racing into the window is overwritten and the fiber
+      parks forever.  Exists solely so the mutation smoke test can
+      prove the explorer detects this bug class. *)
+  val set_lost_wakeup : bool -> unit
+end

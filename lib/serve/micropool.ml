@@ -6,6 +6,7 @@ type t = {
   mutable domains : unit Domain.t list;
   executed : int Atomic.t;
   errors : int Atomic.t;
+  last_error : string option Atomic.t;
 }
 
 let create ?(shards = 4) ~name ~size () =
@@ -17,6 +18,7 @@ let create ?(shards = 4) ~name ~size () =
     domains = [];
     executed = Atomic.make 0;
     errors = Atomic.make 0;
+    last_error = Atomic.make None;
   }
 
 let name t = t.name
@@ -25,13 +27,25 @@ let size t = t.size
 
 let started t = Mutex.protect t.lock (fun () -> t.domains <> [])
 
+(* Request-level errors are counted and retained; fatal runtime
+   exceptions must NOT be swallowed into the same counter — a pool
+   that has hit Out_of_memory or a broken invariant is not healthy,
+   and hiding that behind an incrementing [errors] field was a bug.
+   Re-raising kills this worker and surfaces the exception at
+   [shutdown]'s join. *)
 let worker t wid =
   let rec loop () =
     match Mpmc.pop t.queue with
     | None -> ()
     | Some job ->
-      (try job ~wid with _ -> Atomic.incr t.errors);
-      Atomic.incr t.executed;
+      (match job ~wid with
+      | () -> Atomic.incr t.executed
+      | exception ((Out_of_memory | Stack_overflow | Assert_failure _) as e)
+        ->
+        raise e
+      | exception e ->
+        Atomic.incr t.errors;
+        Atomic.set t.last_error (Some (Printexc.to_string e)));
       loop ()
   in
   loop ()
@@ -49,6 +63,8 @@ let submit t job =
 let executed t = Atomic.get t.executed
 
 let errors t = Atomic.get t.errors
+
+let last_error t = Atomic.get t.last_error
 
 let backlog t = Mpmc.length t.queue
 

@@ -8,8 +8,12 @@
     can keep per-worker state (the server keys latency histograms by
     it) without synchronization.
 
-    A job that raises is counted in {!errors} and the worker moves on;
-    exceptions never kill a pool. *)
+    A job that raises a request-level exception is counted in
+    {!errors} (its message retained in {!last_error}) and the worker
+    moves on.  Fatal runtime exceptions — [Out_of_memory],
+    [Stack_overflow], [Assert_failure] — are {e not} absorbed: they
+    kill the worker and re-raise at {!shutdown}'s join, because a pool
+    that has hit one is no longer trustworthy. *)
 
 type t
 
@@ -28,11 +32,16 @@ val started : t -> bool
     first submission.  @raise Mpmc.Closed after {!shutdown}. *)
 val submit : t -> (wid:int -> unit) -> unit
 
-(** Jobs completed (including erroring ones). *)
+(** Jobs completed successfully (erroring jobs count only in
+    {!errors}). *)
 val executed : t -> int
 
-(** Jobs that raised. *)
+(** Jobs that raised a request-level exception. *)
 val errors : t -> int
+
+(** [Printexc.to_string] of the most recent erroring job's exception,
+    for the server's [stats] response. *)
+val last_error : t -> string option
 
 (** Jobs enqueued and not yet picked up (approximate). *)
 val backlog : t -> int

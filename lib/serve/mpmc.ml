@@ -39,14 +39,24 @@ let n_shards t = Array.length t.shards
    harmless — shard choice is load-spreading, not correctness). *)
 let cursor_next ctr = Atomic.fetch_and_add ctr 1 land max_int
 
+(* The closed check, the shard enqueue and the [avail] publish must be
+   one atomic step under [glock].  The pre-fix sequence — check
+   [closed] unlocked, enqueue, then lock to publish — lost jobs: a
+   [close] landing between enqueue and publish lets consumers observe
+   [avail = 0 && closed], return [None] and get joined, after which
+   the late publish strands the enqueued job forever.  (Enqueuing
+   outside the window is no better: the item would sit unpublished in
+   its shard and be handed to whichever consumer reserved a
+   {e different} push, silently swapping a rejected job for an
+   accepted one.)  Lock order glock -> shard lock is safe: no path
+   acquires them in the other order ([pop] takes shard locks with
+   [glock] released).  Every push already took [glock] to publish, so
+   this widens an existing critical section rather than adding one. *)
 let push t x =
-  if t.closed then raise Closed;
   let s = t.shards.(cursor_next t.push_ctr mod n_shards t) in
-  Mutex.protect s.lock (fun () -> Queue.push x s.items);
-  (* publish after the item is visible in its shard: a consumer that
-     wins the [avail] decrement finds it on the first sweep (a push
-     racing [close] still publishes — close-then-drain semantics) *)
   Mutex.protect t.glock (fun () ->
+      if t.closed then raise Closed;
+      Mutex.protect s.lock (fun () -> Queue.push x s.items);
       t.avail <- t.avail + 1;
       Condition.signal t.gcond)
 

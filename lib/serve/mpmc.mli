@@ -20,7 +20,10 @@ exception Closed
 (** [create ?shards ()] — [shards] defaults to 4. *)
 val create : ?shards:int -> unit -> 'a t
 
-(** @raise Closed after {!close}. *)
+(** Atomic with respect to {!close}: a push either raises [Closed] or
+    fully enqueues-and-publishes its item before close's broadcast, so
+    an accepted item is always drained.  @raise Closed after
+    {!close}. *)
 val push : 'a t -> 'a -> unit
 
 (** Blocks until an item is available or the queue is closed {e and}

@@ -14,6 +14,9 @@ type config = {
   program_cache_cap : int;
   result_cache_cap : int;
   quiet : bool;
+  fiber_pool : int option;
+      (* [Some w]: dispatch every pooled request as a fiber on one shared
+         [w]-worker effects pool instead of the named micropools *)
 }
 
 let default_config addr =
@@ -25,6 +28,7 @@ let default_config addr =
     program_cache_cap = 32;
     result_cache_cap = 256;
     quiet = false;
+    fiber_pool = None;
   }
 
 let standard_machine ~top =
@@ -74,11 +78,18 @@ type t = {
   fuzz_results : (fuzz_key, Json.t) Cache.t;
   suite_results : (string, Json.t) Cache.t;
   pools : (string * pool_slot) list;
+  (* shared effects pool replacing the micropools when [cfg.fiber_pool]
+     is set; the micropools still exist but never start *)
+  fiber : Nd_runtime.Fiber_exec.t option;
   (* worker slot -> kind -> latencies ns; each slot is written by one
      worker domain while the stats path reads concurrently, so slots are
      mutex-guarded Sync histograms (a bare Histogram.record racing a
      merge yields count/bucket mismatches and garbage percentiles) *)
   hists : Histogram.Sync.t array array;
+  (* fiber-pool latencies are keyed by kind only: a fiber that parked on
+     a promise may resume on any worker, so per-worker unsynchronized
+     slots would race *)
+  fiber_hists : Histogram.Sync.t array;
   inline_hists : Histogram.t array;  (* kinds answered by reader threads *)
   inline_lock : Mutex.t;
   stop : bool Atomic.t;
@@ -120,9 +131,15 @@ let create cfg =
     fuzz_results = Cache.create ~name:"fuzz" ~cap:cfg.result_cache_cap ();
     suite_results = Cache.create ~name:"suite" ~cap:16 ();
     pools = List.rev pools;
+    fiber =
+      Option.map
+        (fun w ->
+          Nd_runtime.Fiber_exec.create ~workers:(max 1 w) ~name:"fiber" ())
+        cfg.fiber_pool;
     hists =
       Array.init total (fun _ ->
           Array.init n_kinds (fun _ -> Histogram.Sync.create ()));
+    fiber_hists = Array.init n_kinds (fun _ -> Histogram.Sync.create ());
     inline_hists = Array.init n_kinds (fun _ -> Histogram.create ());
     inline_lock = Mutex.create ();
     stop = Atomic.make false;
@@ -285,6 +302,9 @@ let stats_json st =
     (fun row ->
       Array.iteri (fun k h -> Histogram.Sync.merge_into ~into:merged.(k) h) row)
     st.hists;
+  Array.iteri
+    (fun k h -> Histogram.Sync.merge_into ~into:merged.(k) h)
+    st.fiber_hists;
   Mutex.protect st.inline_lock (fun () ->
       Array.iteri (fun k h -> Histogram.merge ~into:merged.(k) h) st.inline_hists);
   let kinds =
@@ -298,8 +318,35 @@ let stats_json st =
            | Some (Json.Int 0) -> false
            | _ -> true)
   in
+  let fiber_fields =
+    match st.fiber with
+    | None -> []
+    | Some fp ->
+      let module F = Nd_runtime.Fiber_exec in
+      let s = F.stats fp in
+      [
+        ( "fiber_pool",
+          Json.Obj
+            [
+              ("name", Json.String (F.name fp));
+              ("workers", Json.Int s.F.workers);
+              ("started", Json.Bool (F.started fp));
+              ("fibers", Json.Int s.F.fibers);
+              ("completed", Json.Int s.F.completed);
+              ("suspensions", Json.Int s.F.suspensions);
+              ("steals", Json.Int s.F.steals);
+              ("peak_blocked", Json.Int s.F.peak_blocked);
+              ("blocked", Json.Int s.F.blocked);
+              ("errors", Json.Int s.F.errors);
+              ( "last_error",
+                match F.last_error fp with
+                | Some e -> Json.String e
+                | None -> Json.Null );
+            ] );
+      ]
+  in
   Json.Obj
-    [
+    ([
       ("uptime_s", Json.Float (uptime_s st));
       ("requests", Json.Int (Atomic.get st.n_requests));
       ("errors", Json.Int (Atomic.get st.n_errors));
@@ -327,9 +374,14 @@ let stats_json st =
                    ("executed", Json.Int (Micropool.executed pool));
                    ("errors", Json.Int (Micropool.errors pool));
                    ("backlog", Json.Int (Micropool.backlog pool));
+                   ( "last_error",
+                     match Micropool.last_error pool with
+                     | Some e -> Json.String e
+                     | None -> Json.Null );
                  ])
              st.pools) );
     ]
+    @ fiber_fields)
 
 let handle st (req : P.request) =
   match req with
@@ -408,15 +460,25 @@ let dispatch st conn ({ P.id; req } : P.envelope) =
     respond st conn ~id (result_of_handle st req);
     record_inline st (P.kind_index req) (now_ns () - t0);
     initiate_stop st
-  | _ ->
-    let { pool; offset } = pool_for st req in
+  | _ -> (
     let kind_idx = P.kind_index req in
-    let job ~wid =
-      respond st conn ~id (result_of_handle st req);
-      Histogram.Sync.record st.hists.(offset + wid).(kind_idx) (now_ns () - t0)
-    in
-    (try Micropool.submit pool job
-     with Mpmc.Closed -> respond st conn ~id (Error "server shutting down"))
+    match st.fiber with
+    | Some fp ->
+      let job () =
+        respond st conn ~id (result_of_handle st req);
+        Histogram.Sync.record st.fiber_hists.(kind_idx) (now_ns () - t0)
+      in
+      (try Nd_runtime.Fiber_exec.submit fp job
+       with Nd_runtime.Fiber_exec.Closed ->
+         respond st conn ~id (Error "server shutting down"))
+    | None ->
+      let { pool; offset } = pool_for st req in
+      let job ~wid =
+        respond st conn ~id (result_of_handle st req);
+        Histogram.Sync.record st.hists.(offset + wid).(kind_idx) (now_ns () - t0)
+      in
+      (try Micropool.submit pool job
+       with Mpmc.Closed -> respond st conn ~id (Error "server shutting down")))
 
 (* best-effort id for an error response to a frame that decoded as JSON
    but not as a request envelope *)
@@ -493,11 +555,15 @@ let run cfg =
   if not cfg.quiet then begin
     Format.printf "ndsim serve: listening on %a (pools: %s)@." P.pp_addr
       cfg.addr
-      (String.concat ", "
-         (List.map
-            (fun (n, { pool; _ }) ->
-              Printf.sprintf "%s=%d" n (Micropool.size pool))
-            st.pools));
+      (match st.fiber with
+      | Some fp ->
+        Printf.sprintf "fiber=%d" (Nd_runtime.Fiber_exec.n_workers fp)
+      | None ->
+        String.concat ", "
+          (List.map
+             (fun (n, { pool; _ }) ->
+               Printf.sprintf "%s=%d" n (Micropool.size pool))
+             st.pools));
     Format.print_flush ()
   end;
   let rec accept_loop () =
@@ -523,6 +589,7 @@ let run cfg =
       st.listen_fd <- None;
       try Unix.close fd with Unix.Unix_error _ -> ());
   List.iter (fun (_, { pool; _ }) -> Micropool.shutdown pool) st.pools;
+  Option.iter Nd_runtime.Fiber_exec.shutdown st.fiber;
   (match cfg.addr with
   | P.Unix_path path -> (
     try Unix.unlink path with Unix.Unix_error _ -> ())

@@ -28,6 +28,14 @@ type config = {
   program_cache_cap : int;  (** compiled-workload entries *)
   result_cache_cap : int;  (** entries per result cache *)
   quiet : bool;
+  fiber_pool : int option;
+      (** [Some w]: run every pooled request as a fiber on one shared
+          [w]-worker {!Nd_runtime.Fiber_exec} pool instead of the named
+          micropools (which then exist but never start).  Handlers may
+          use {!Nd_runtime.Fiber_exec.spawn}/[await] internally; a
+          parked handler frees its worker for other requests.  Latency
+          histograms are then keyed by kind only — a resumed fiber may
+          finish on any worker. *)
 }
 
 val default_config : Protocol.addr -> config

@@ -374,6 +374,50 @@ let test_mpmc_cursor_wrap () =
   Alcotest.(check int) "no duplicates" (2 * per)
     (List.length (List.sort_uniq compare taken))
 
+(* Regression for the lost-job race: [push] used to check [closed]
+   without the lock, enqueue into its shard, and only then take [glock]
+   to publish [avail].  A [close] landing in that window let consumers
+   observe [avail = 0 && closed], drain out and get joined — stranding
+   the already-enqueued job forever.  The fix makes closed-check +
+   enqueue + publish one atomic step under [glock], so every push
+   either raises [Closed] or is eventually consumed: accepted pushes
+   and consumed items must balance exactly on every round. *)
+let test_mpmc_push_vs_close_race () =
+  let rounds = 60 in
+  for round = 1 to rounds do
+    let q = Mpmc.create ~shards:2 () in
+    let accepted = Atomic.make 0 in
+    let producers =
+      List.init 2 (fun _ ->
+          Domain.spawn (fun () ->
+              try
+                while true do
+                  Mpmc.push q ();
+                  Atomic.incr accepted
+                done
+              with Mpmc.Closed -> ()))
+    in
+    let consumers =
+      List.init 2 (fun _ ->
+          Domain.spawn (fun () ->
+              let rec go n =
+                match Mpmc.pop q with Some () -> go (n + 1) | None -> n
+              in
+              go 0))
+    in
+    (* let the producers get going, then slam the door mid-stream *)
+    for _ = 1 to 100 * round do
+      Domain.cpu_relax ()
+    done;
+    Mpmc.close q;
+    List.iter Domain.join producers;
+    let consumed = List.fold_left (fun a d -> a + Domain.join d) 0 consumers in
+    let accepted = Atomic.get accepted in
+    if accepted <> consumed then
+      Alcotest.failf "round %d lost %d job(s): %d accepted, %d consumed" round
+        (accepted - consumed) accepted consumed
+  done
+
 (* ---------------------------- micropool ----------------------------- *)
 
 let test_micropool_lazy_and_exact () =
@@ -400,6 +444,31 @@ let test_micropool_survives_errors () =
   Micropool.shutdown pool;
   Alcotest.(check int) "job after error still ran" 1 (Atomic.get ok);
   Alcotest.(check int) "error counted" 1 (Micropool.errors pool)
+
+let test_micropool_error_accounting () =
+  let pool = Micropool.create ~name:"t" ~size:1 () in
+  Alcotest.(check (option string)) "no error yet" None
+    (Micropool.last_error pool);
+  Micropool.submit pool (fun ~wid:_ -> failwith "boom-kaboom");
+  Micropool.submit pool (fun ~wid:_ -> ());
+  Micropool.submit pool (fun ~wid:_ -> failwith "boom-kaboom");
+  Micropool.submit pool (fun ~wid:_ -> ());
+  Micropool.shutdown pool;
+  Alcotest.(check int) "executed counts successes only" 2
+    (Micropool.executed pool);
+  Alcotest.(check int) "errors counted" 2 (Micropool.errors pool);
+  match Micropool.last_error pool with
+  | Some msg ->
+    let contains ~sub s =
+      let ls = String.length sub and lm = String.length s in
+      let rec scan i =
+        i + ls <= lm && (String.sub s i ls = sub || scan (i + 1))
+      in
+      scan 0
+    in
+    if not (contains ~sub:"boom-kaboom" msg) then
+      Alcotest.failf "last_error lacks the message: %s" msg
+  | None -> Alcotest.fail "last_error not retained"
 
 (* ------------------------------ cache ------------------------------- *)
 
@@ -639,6 +708,68 @@ let test_server_end_to_end () =
   Thread.join server;
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock_path)
 
+(* the fiber-pool dispatch path: handlers run as effect-handler fibers
+   on one shared pool instead of the named micropools.  Same protocol
+   behavior as the micropool path, plus the fiber pool's own stats
+   section — and the micropools must never have started. *)
+let test_server_fiber_pool () =
+  let sock_path = fresh_sock_path "fiber" in
+  let cfg =
+    {
+      (Server.default_config (P.Unix_path sock_path)) with
+      Server.pool_sizes = [ ("analyze", 1); ("simulate", 1); ("fuzz", 1) ];
+      quiet = true;
+      fiber_pool = Some 2;
+    }
+  in
+  let server = Thread.create (fun () -> Server.run cfg) () in
+  wait_for_socket sock_path;
+  let conn = Client.connect (P.Unix_path sock_path) in
+  let lint = Client.call_exn conn (P.Lint wk) in
+  Alcotest.(check bool) "lint clean" true
+    (member_exn "errors" lint = Json.Int 0);
+  let race = Client.call_exn conn (P.Race wk) in
+  Alcotest.(check bool) "race-free" true
+    (member_exn "race_free" race = Json.Bool true);
+  (* a pipelined burst through the shared pool: every id answered *)
+  let ids = List.init 50 (fun _ -> Client.send conn (P.Lint wk)) in
+  let got = List.init 50 (fun _ -> (Client.recv conn).P.id) in
+  Alcotest.(check bool) "burst ids all answered" true
+    (List.sort compare ids = List.sort compare got);
+  (* a failing request comes back as an error response, with the pool
+     intact for the next request *)
+  (match (Client.call conn (P.Lint { wk with algo = "nope" })).P.result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lint of unknown algorithm succeeded");
+  Alcotest.(check bool) "pool alive after error" true
+    (member_exn "race_free" (Client.call_exn conn (P.Race wk)) = Json.Bool true);
+  let stats = Client.call_exn conn P.Stats in
+  let fp = member_exn "fiber_pool" stats in
+  Alcotest.(check bool) "fiber pool started" true
+    (member_exn "started" fp = Json.Bool true);
+  (match member_exn "fibers" fp with
+  | Json.Int n when n >= 54 -> ()
+  | j -> Alcotest.failf "fiber count too low: %s" (Json.to_string j));
+  (* handler errors are protocol-level responses, not fiber errors *)
+  Alcotest.(check bool) "no fiber-level errors" true
+    (member_exn "errors" fp = Json.Int 0);
+  (* latency histograms keyed by kind despite worker migration *)
+  (match member_exn "count" (member_exn "lint" (member_exn "latency_ns" stats))
+   with
+  | Json.Int c when c >= 51 -> ()
+  | j -> Alcotest.failf "lint latency count: %s" (Json.to_string j));
+  (* the micropools exist but never started *)
+  Json.to_list (member_exn "pools" stats)
+  |> List.iter (fun pj ->
+         Alcotest.(check bool) "micropool idle" true
+           (member_exn "started" pj = Json.Bool false));
+  let bye = Client.call_exn conn P.Shutdown in
+  Alcotest.(check bool) "stopping" true
+    (member_exn "stopping" bye = Json.Bool true);
+  Client.close conn;
+  Thread.join server;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock_path)
+
 (* regression for the shared-socket-path isolation bug: two servers in
    the same process (or two test processes on one machine) must be able
    to run side by side, each on its own temp-dir socket, without one
@@ -713,6 +844,8 @@ let () =
           Alcotest.test_case "close semantics" `Quick test_mpmc_close_semantics;
           Alcotest.test_case "cursor wrap at max_int" `Quick
             test_mpmc_cursor_wrap;
+          Alcotest.test_case "push vs close race" `Quick
+            test_mpmc_push_vs_close_race;
         ] );
       ( "micropool",
         [
@@ -720,6 +853,8 @@ let () =
             test_micropool_lazy_and_exact;
           Alcotest.test_case "survives job errors" `Quick
             test_micropool_survives_errors;
+          Alcotest.test_case "error accounting and last_error" `Quick
+            test_micropool_error_accounting;
         ] );
       ( "cache",
         [
@@ -738,6 +873,8 @@ let () =
       ( "server",
         [
           Alcotest.test_case "end-to-end" `Quick test_server_end_to_end;
+          Alcotest.test_case "fiber-pool dispatch" `Quick
+            test_server_fiber_pool;
           Alcotest.test_case "two servers coexist" `Quick
             test_two_servers_coexist;
         ] );
